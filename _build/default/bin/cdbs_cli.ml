@@ -1,0 +1,345 @@
+(* cdbs — command-line front end to the query-centric allocation library.
+
+   Subcommands:
+     classify    classify a SQL journal file into query classes
+     allocate    compute an allocation for a journal or built-in workload
+     simulate    simulate a workload on a cluster and report throughput
+     experiment  run one of the paper-reproduction experiment sections *)
+
+open Cmdliner
+
+module Core = Cdbs_core
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let builtin_workload name granularity =
+  match name with
+  | "tpch" -> Ok (Cdbs_workloads.Tpch.workload ~granularity ~sf:1.)
+  | "tpcapp" -> Ok (Cdbs_workloads.Tpcapp.workload ~granularity ~eb:300)
+  | "trace" -> Ok (Cdbs_workloads.Trace.workload_at ~hour:12.)
+  | other -> Error (`Msg ("unknown built-in workload " ^ other))
+
+let granularity_conv =
+  Arg.enum [ ("table", `Table); ("column", `Column) ]
+
+let granularity_arg =
+  Arg.(
+    value
+    & opt granularity_conv `Table
+    & info [ "g"; "granularity" ] ~docv:"GRANULARITY"
+        ~doc:"Classification granularity: $(b,table) or $(b,column).")
+
+let backends_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "n"; "backends" ] ~docv:"N" ~doc:"Number of backends.")
+
+let loads_arg =
+  Arg.(
+    value
+    & opt (list float) []
+    & info [ "loads" ] ~docv:"L1,L2,..."
+        ~doc:
+          "Relative backend performances for a heterogeneous cluster \
+           (overrides $(b,--backends)).")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed for the memetic search.")
+
+let make_backends n loads =
+  if loads = [] then Core.Backend.homogeneous n
+  else Core.Backend.heterogeneous loads
+
+let print_workload w =
+  Fmt.pr "%a@." Core.Workload.pp w;
+  Fmt.pr "total weight: %.4f, fragments: %d (%.1f MB)@."
+    (Core.Workload.total_weight w)
+    (Core.Fragment.Set.cardinal (Core.Workload.fragments w))
+    (Core.Fragment.set_size (Core.Workload.fragments w))
+
+let print_allocation alloc =
+  Fmt.pr "%a@." Core.Allocation.pp_allocation_matrix alloc;
+  Fmt.pr "%a@." Core.Allocation.pp_load_matrix alloc;
+  Fmt.pr
+    "scale %.4f, predicted speedup %.2f, degree of replication %.2f, stored \
+     %.1f MB@."
+    (Core.Allocation.scale alloc)
+    (Core.Allocation.speedup alloc)
+    (Core.Replication.degree alloc)
+    (Core.Allocation.total_stored alloc)
+
+(* ------------------------------------------------------------------ *)
+(* classify                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let classify_cmd =
+  let journal_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"JOURNAL" ~doc:"Journal file (one SQL statement per line).")
+  in
+  let schema_arg =
+    Arg.(
+      value
+      & opt (enum [ ("none", `None); ("tpch", `Tpch); ("tpcapp", `Tpcapp); ("trace", `Trace) ]) `None
+      & info [ "schema" ] ~docv:"SCHEMA"
+          ~doc:
+            "Schema used to resolve unqualified columns and size fragments: \
+             $(b,tpch), $(b,tpcapp), $(b,trace) or $(b,none).  Column \
+             granularity on multi-table statements needs a schema.")
+  in
+  let run path granularity schema_name =
+    let journal =
+      match Core.Journal.load_file path with
+      | Ok j -> j
+      | Error e -> prerr_endline e; exit 1
+    in
+    let schema, rows =
+      match schema_name with
+      | `None -> ([], [])
+      | `Tpch ->
+          (Cdbs_workloads.Tpch.schema, Cdbs_workloads.Tpch.row_counts ~sf:1.)
+      | `Tpcapp ->
+          ( Cdbs_workloads.Tpcapp.schema,
+            Cdbs_workloads.Tpcapp.row_counts ~eb:300 )
+      | `Trace ->
+          (Cdbs_workloads.Trace.schema, Cdbs_workloads.Trace.row_counts)
+    in
+    (* Without a known schema, every fragment counts as 1 MB. *)
+    let size_of =
+      if schema = [] then fun _ -> 1.
+      else Core.Classification.default_sizes ~schema ~rows
+    in
+    let g =
+      match granularity with
+      | `Table -> Core.Classification.By_table
+      | `Column -> Core.Classification.By_column
+    in
+    let w = Core.Classification.classify ~schema ~size_of g journal in
+    Fmt.pr "journal: %d entries, %d distinct statements@."
+      (Core.Journal.length journal)
+      (List.length (Core.Journal.occurrences journal));
+    if granularity = `Column && schema = [] then
+      Fmt.pr
+        "note: no schema given — unqualified columns of multi-table \
+         statements cannot be attributed and such statements are skipped \
+         (pass --schema).@.";
+    print_workload w
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify a SQL journal into query classes")
+    Term.(const run $ journal_arg $ granularity_arg $ schema_arg)
+
+(* ------------------------------------------------------------------ *)
+(* allocate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let algorithm_conv =
+  Arg.enum [ ("greedy", `Greedy); ("memetic", `Memetic); ("optimal", `Optimal) ]
+
+let allocate_cmd =
+  let workload_arg =
+    Arg.(
+      value & opt string "tpch"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:"Built-in workload: $(b,tpch), $(b,tpcapp) or $(b,trace).")
+  in
+  let algorithm_arg =
+    Arg.(
+      value & opt algorithm_conv `Memetic
+      & info [ "a"; "algorithm" ] ~docv:"ALG"
+          ~doc:"Allocation algorithm: $(b,greedy), $(b,memetic) or $(b,optimal).")
+  in
+  let ksafety_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "k" ] ~docv:"K" ~doc:"k-safety degree (0 = none).")
+  in
+  let run name granularity n loads algorithm seed k =
+    match builtin_workload name granularity with
+    | Error (`Msg m) -> prerr_endline m; exit 1
+    | Ok workload ->
+        let backends = make_backends n loads in
+        let alloc =
+          if k > 0 then Core.Ksafety.allocate ~k workload backends
+          else
+          match algorithm with
+          | `Greedy -> Core.Greedy.allocate workload backends
+          | `Memetic ->
+              Core.Memetic.allocate ~rng:(Cdbs_util.Rng.create seed) workload
+                backends
+          | `Optimal -> (
+              match
+                Core.Optimal.allocate (Core.Optimal.coarsen workload) backends
+              with
+              | Ok r ->
+                  Fmt.pr "optimal scale %.4f (proved: %b)@." r.Core.Optimal.scale
+                    r.Core.Optimal.proved_optimal;
+                  r.Core.Optimal.allocation
+              | Error e -> prerr_endline e; exit 1)
+        in
+        print_allocation alloc;
+        if k > 0 then
+          Fmt.pr "k-safe for k=%d: %b@." k (Core.Ksafety.is_k_safe ~k alloc)
+  in
+  Cmd.v
+    (Cmd.info "allocate" ~doc:"Compute a partial-replication allocation")
+    Term.(
+      const run $ workload_arg $ granularity_arg $ backends_arg $ loads_arg
+      $ algorithm_arg $ seed_arg $ ksafety_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let workload_arg =
+    Arg.(
+      value & opt string "tpch"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:"Built-in workload: $(b,tpch) or $(b,tpcapp).")
+  in
+  let strategy_conv =
+    Arg.enum
+      [
+        ("full", Cdbs_experiments.Common.Full_replication);
+        ("table", Cdbs_experiments.Common.Table_based);
+        ("column", Cdbs_experiments.Common.Column_based);
+        ("random", Cdbs_experiments.Common.Random_placement);
+      ]
+  in
+  let strategy_arg =
+    Arg.(
+      value & opt strategy_conv Cdbs_experiments.Common.Table_based
+      & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Allocation strategy: $(b,full), $(b,table), $(b,column) or \
+             $(b,random).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "r"; "requests" ] ~docv:"N" ~doc:"Requests to simulate.")
+  in
+  let run name strategy n loads requests seed =
+    let rng = Cdbs_util.Rng.create seed in
+    let backends = make_backends n loads in
+    let table_workload, column_workload, reqs =
+      match name with
+      | "tpcapp" ->
+          ( Cdbs_workloads.Tpcapp.workload ~granularity:`Table ~eb:300,
+            Cdbs_workloads.Tpcapp.workload ~granularity:`Column ~eb:300,
+            Cdbs_workloads.Tpcapp.requests ~rng ~granularity:`Table ~eb:300
+              ~n:requests )
+      | _ ->
+          ( Cdbs_workloads.Tpch.workload ~granularity:`Table ~sf:1.,
+            Cdbs_workloads.Tpch.workload ~granularity:`Column ~sf:1.,
+            Cdbs_workloads.Tpch.requests ~rng ~sf:1. ~n:requests )
+    in
+    let alloc =
+      Cdbs_experiments.Common.allocate ~rng strategy ~table_workload
+        ~column_workload backends
+    in
+    let outcome = Cdbs_experiments.Common.simulate alloc reqs in
+    print_allocation alloc;
+    Fmt.pr
+      "simulated %d requests: throughput %.2f q/s, makespan %.2f s, avg \
+       response %.4f s, errors %d@."
+      outcome.Cdbs_cluster.Simulator.completed
+      outcome.Cdbs_cluster.Simulator.throughput
+      outcome.Cdbs_cluster.Simulator.makespan
+      outcome.Cdbs_cluster.Simulator.avg_response
+      outcome.Cdbs_cluster.Simulator.errors;
+    Fmt.pr "utilization:";
+    Array.iter
+      (fun u -> Fmt.pr " %.2f" u)
+      outcome.Cdbs_cluster.Simulator.utilization;
+    Fmt.pr "@."
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate a workload on a CDBS cluster")
+    Term.(
+      const run $ workload_arg $ strategy_arg $ backends_arg $ loads_arg
+      $ requests_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_cmd =
+  let section_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [
+                  ("tables", `Tables); ("tpch", `Tpch); ("tpcapp", `Tpcapp);
+                  ("balance", `Balance); ("elastic", `Elastic);
+                  ("ablation", `Ablation);
+                ]))
+          None
+      & info [] ~docv:"SECTION"
+          ~doc:
+            "Experiment section: $(b,tables), $(b,tpch), $(b,tpcapp), \
+             $(b,balance), $(b,elastic) or $(b,ablation).")
+  in
+  let run = function
+    | `Tables -> Cdbs_experiments.Tables.print_all ()
+    | `Tpch -> Cdbs_experiments.Fig_tpch.print_all ()
+    | `Tpcapp -> Cdbs_experiments.Fig_tpcapp.print_all ()
+    | `Balance -> Cdbs_experiments.Fig_balance.print_all ()
+    | `Elastic -> Cdbs_experiments.Fig_elastic.print_all ()
+    | `Ablation -> Cdbs_experiments.Ablation.print_all ()
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run a paper-reproduction experiment section")
+    Term.(const run $ section_arg)
+
+(* ------------------------------------------------------------------ *)
+(* journalgen                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let journalgen_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Output journal file.")
+  in
+  let entries_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "e"; "entries" ] ~docv:"N" ~doc:"Journal entries to generate.")
+  in
+  let run path entries seed =
+    let journal =
+      Cdbs_workloads.Tpch_queries.journal
+        ~rng:(Cdbs_util.Rng.create seed)
+        ~n:entries ~sf:1.
+    in
+    Core.Journal.save_file journal path;
+    Fmt.pr "wrote %d TPC-H journal entries to %s@."
+      (Core.Journal.length journal)
+      path
+  in
+  Cmd.v
+    (Cmd.info "journalgen"
+       ~doc:"Generate a sample TPC-H SQL journal file (for classify)")
+    Term.(const run $ out_arg $ entries_arg $ seed_arg)
+
+let () =
+  let doc = "query-centric partitioning and allocation for CDBSs" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "cdbs" ~version:"1.0.0" ~doc)
+          [
+            classify_cmd; allocate_cmd; simulate_cmd; experiment_cmd;
+            journalgen_cmd;
+          ]))

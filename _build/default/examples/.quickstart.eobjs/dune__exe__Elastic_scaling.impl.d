@@ -1,0 +1,1 @@
+examples/elastic_scaling.ml: Cdbs_autoscale Cdbs_util Fmt List String

@@ -1,0 +1,1 @@
+examples/horizontal_partitioning.ml: Allocation Array Backend Cdbs_core Cdbs_util Cdbs_workloads Fmt Fragment List Memetic Replication Speedup String Workload

@@ -1,0 +1,1 @@
+examples/horizontal_partitioning.mli:

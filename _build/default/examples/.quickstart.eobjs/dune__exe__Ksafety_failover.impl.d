@@ -1,0 +1,1 @@
+examples/ksafety_failover.ml: Allocation Array Backend Cdbs_core Cdbs_workloads Fmt Greedy Ksafety List Printf Query_class Replication String

@@ -1,0 +1,1 @@
+examples/ksafety_failover.mli:

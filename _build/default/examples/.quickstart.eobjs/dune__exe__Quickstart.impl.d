@@ -1,0 +1,1 @@
+examples/quickstart.ml: Allocation Backend Cdbs_core Fmt Fragment Greedy List Optimal Query_class Replication Speedup Workload

@@ -1,0 +1,1 @@
+examples/sql_journal.ml: Cdbs_cluster Cdbs_core Cdbs_storage Fmt List Printf String

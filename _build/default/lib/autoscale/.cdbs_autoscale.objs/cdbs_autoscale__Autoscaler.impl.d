@@ -1,0 +1,1 @@
+lib/autoscale/autoscaler.ml: Array Cdbs_cluster Cdbs_core Cdbs_util Cdbs_workloads Forecast List Policy Stdlib

@@ -1,0 +1,1 @@
+lib/autoscale/autoscaler.mli: Cdbs_util Policy

@@ -1,0 +1,1 @@
+lib/autoscale/forecast.ml: Array

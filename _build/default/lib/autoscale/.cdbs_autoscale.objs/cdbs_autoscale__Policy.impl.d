@@ -1,0 +1,1 @@
+lib/autoscale/policy.ml:

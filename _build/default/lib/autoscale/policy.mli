@@ -1,0 +1,30 @@
+(** Autonomic scaling policy (paper Sec. 5).
+
+    The paper's autonomic CDBS scales the backend count up and down based
+    on the average response time of the queries.  This policy adds the
+    standard guards: hysteresis (distinct up/down thresholds) and a
+    cooldown so a single noisy window cannot thrash the cluster. *)
+
+type t
+
+type decision =
+  | Stay
+  | Scale_to of int  (** new backend count *)
+
+val create :
+  ?min_nodes:int ->
+  ?max_nodes:int ->
+  ?up_threshold:float ->
+  ?down_threshold:float ->
+  ?cooldown_windows:int ->
+  unit ->
+  t
+(** Defaults: 1–6 nodes, scale up (by 2 when badly overloaded) when the
+    windowed average response time exceeds [up_threshold] (0.018 s), scale
+    down when it stays below [down_threshold] (0.0118 s) {e and} utilization
+    is low, with a cooldown of 1 window between scaling actions. *)
+
+val decide :
+  t -> current:int -> avg_response:float -> utilization:float -> decision
+(** One decision per measurement window; call once per window so the
+    cooldown counts correctly. *)

@@ -1,0 +1,1 @@
+lib/cluster/controller.ml: Array Cdbs_core Cdbs_sql Cdbs_storage Cdbs_util Hashtbl List String

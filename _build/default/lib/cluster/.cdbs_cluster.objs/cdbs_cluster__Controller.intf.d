@@ -1,0 +1,1 @@
+lib/cluster/controller.mli: Cdbs_core Cdbs_storage

@@ -1,0 +1,1 @@
+lib/cluster/cost_model.mli:

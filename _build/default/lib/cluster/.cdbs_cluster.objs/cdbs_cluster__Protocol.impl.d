@@ -1,0 +1,1 @@
+lib/cluster/protocol.ml: List

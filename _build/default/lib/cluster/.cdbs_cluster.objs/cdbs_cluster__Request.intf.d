@@ -1,0 +1,1 @@
+lib/cluster/request.mli: Fmt

@@ -1,0 +1,1 @@
+lib/cluster/scheduler.ml: Array Cdbs_core Hashtbl List Option Request

@@ -1,0 +1,1 @@
+lib/cluster/simulator.ml: Array Cdbs_core Cost_model List Protocol Request Scheduler Stdlib

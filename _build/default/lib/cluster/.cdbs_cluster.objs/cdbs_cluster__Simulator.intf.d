@@ -1,0 +1,1 @@
+lib/cluster/simulator.mli: Cdbs_core Cost_model Protocol Request

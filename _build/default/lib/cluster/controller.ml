@@ -1,0 +1,206 @@
+module Schema = Cdbs_storage.Schema
+module Database = Cdbs_storage.Database
+module Executor = Cdbs_storage.Executor
+module Datagen = Cdbs_storage.Datagen
+module Analyze = Cdbs_sql.Analyze
+module Journal = Cdbs_core.Journal
+module Classification = Cdbs_core.Classification
+module Fragment = Cdbs_core.Fragment
+module Allocation = Cdbs_core.Allocation
+module Memetic = Cdbs_core.Memetic
+module Backend = Cdbs_core.Backend
+module Physical = Cdbs_core.Physical
+
+type backend_state = {
+  mutable db : Database.t;
+  mutable pending_cost : float;  (** accumulated routed cost, for balance *)
+}
+
+type t = {
+  schema : Schema.t;
+  rows : (string * int) list;
+  master : Database.t;  (** authoritative full copy, source for ETL *)
+  stats_cache : (string, Cdbs_storage.Table_stats.t) Hashtbl.t;
+  backends : backend_state array;
+  journal : Journal.t;
+  rng : Cdbs_util.Rng.t;
+  mutable allocation : Allocation.t option;
+  mutable processed : int;
+  mutable total_cost : float;
+  mutable clock : float;
+}
+
+let create ~schema ~rows ~backends ~seed =
+  if backends <= 0 then invalid_arg "Controller.create: need backends";
+  let rng = Cdbs_util.Rng.create seed in
+  let master = Database.create schema in
+  Datagen.populate rng master ~rows_per_table:rows;
+  let mk () =
+    let db = Database.create schema in
+    List.iter
+      (fun tbl ->
+        match Database.copy_table_into ~src:master ~dst:db tbl.Schema.tbl_name with
+        | Ok _ -> ()
+        | Error e -> invalid_arg ("Controller.create: " ^ e))
+      schema;
+    { db; pending_cost = 0. }
+  in
+  {
+    schema;
+    rows;
+    master;
+    stats_cache = Hashtbl.create 8;
+    backends = Array.init backends (fun _ -> mk ());
+    journal = Journal.create ();
+    rng;
+    allocation = None;
+    processed = 0;
+    total_cost = 0.;
+    clock = 0.;
+  }
+
+(* Deterministic cost estimate, the paper's "cost estimation from the
+   query optimizer" alternative to measured execution times: per referenced
+   table, the estimated scan bytes under the statement's predicate
+   (selectivity from cached table statistics). *)
+let table_stats t name =
+  match Hashtbl.find_opt t.stats_cache name with
+  | Some st -> st
+  | None -> (
+      match Database.table t.master name with
+      | None -> { Cdbs_storage.Table_stats.rows = 0; bytes = 0; columns = [] }
+      | Some tbl ->
+          let st = Cdbs_storage.Table_stats.collect tbl in
+          Hashtbl.replace t.stats_cache name st;
+          st)
+
+let where_of = function
+  | Cdbs_sql.Ast.Select { where; joins = []; _ } -> where
+  | Cdbs_sql.Ast.Update { where; _ } | Cdbs_sql.Ast.Delete { where; _ } ->
+      where
+  | _ -> None
+
+let cost_of_statement t stmt (fp : Analyze.footprint) =
+  let where = where_of stmt in
+  List.fold_left
+    (fun acc tbl ->
+      acc
+      +. Cdbs_storage.Table_stats.estimate_scan_bytes (table_stats t tbl)
+           where
+         /. 1048576.)
+    0.001 fp.Analyze.tables
+
+let holds_tables st tables =
+  List.for_all (fun tbl -> Database.table st.db tbl <> None) tables
+
+let submit t sql =
+  match Cdbs_sql.Parser.parse sql with
+  | exception Cdbs_sql.Parser.Parse_error m -> Error ("parse error: " ^ m)
+  | stmt -> (
+      let fp =
+        Analyze.footprint_of_statement ~schema:(Schema.to_assoc t.schema) stmt
+      in
+      let cost = cost_of_statement t stmt fp in
+      t.clock <- t.clock +. 1.;
+      Journal.record_at t.journal ~at:t.clock ~sql ~cost;
+      t.processed <- t.processed + 1;
+      t.total_cost <- t.total_cost +. cost;
+      if fp.Analyze.is_update then begin
+        (* Updated tables get fresh statistics on next use. *)
+        List.iter (Hashtbl.remove t.stats_cache) fp.Analyze.tables;
+        (* ROWA: run on the master and every backend holding the table. *)
+        let result = Executor.execute t.master stmt in
+        Array.iter
+          (fun st ->
+            if holds_tables st fp.Analyze.tables then begin
+              st.pending_cost <- st.pending_cost +. cost;
+              ignore (Executor.execute st.db stmt)
+            end)
+          t.backends;
+        result
+      end
+      else begin
+        (* Least pending eligible backend. *)
+        let best = ref None in
+        Array.iteri
+          (fun i st ->
+            if holds_tables st fp.Analyze.tables then
+              match !best with
+              | None -> best := Some i
+              | Some j ->
+                  if st.pending_cost < t.backends.(j).pending_cost then
+                    best := Some i)
+          t.backends;
+        match !best with
+        | None -> Error "no backend holds the referenced tables"
+        | Some i ->
+            let st = t.backends.(i) in
+            st.pending_cost <- st.pending_cost +. cost;
+            Executor.execute st.db stmt
+      end)
+
+let journal t = t.journal
+let allocation t = t.allocation
+
+let backend_tables t =
+  Array.to_list
+    (Array.map (fun st -> Database.table_names st.db) t.backends)
+
+let stats t = (t.processed, t.total_cost)
+
+let reallocate t ?(iterations = 40) () =
+  if Journal.length t.journal = 0 then Error "empty query history"
+  else begin
+    let size_of =
+      Classification.default_sizes ~schema:t.schema ~rows:t.rows
+    in
+    let workload =
+      Classification.classify ~schema:t.schema ~size_of
+        Classification.By_table t.journal
+    in
+    let backends = Backend.homogeneous (Array.length t.backends) in
+    let params =
+      { Memetic.default_params with Memetic.iterations }
+    in
+    let alloc = Memetic.allocate ~params ~rng:t.rng workload backends in
+    (* Match against the current physical placement. *)
+    let current_sets =
+      Array.to_list
+        (Array.map
+           (fun st ->
+             List.fold_left
+               (fun acc name ->
+                 let kind = Fragment.Table name in
+                 Fragment.Set.add { Fragment.kind; size = size_of kind } acc)
+               Fragment.Set.empty
+               (Database.table_names st.db))
+           t.backends)
+    in
+    let plan = Physical.plan_scaled ~old_fragments:current_sets alloc in
+    (* Rebuild each physical node with exactly the tables of the new
+       backend mapped onto it. *)
+    Array.iteri
+      (fun v _u ->
+        let wanted =
+          Fragment.Set.fold
+            (fun f acc ->
+              match f.Fragment.kind with
+              | Fragment.Table name -> name :: acc
+              | Fragment.Column { table; _ } | Fragment.Range { table; _ } ->
+                  table :: acc)
+            (Allocation.fragments_of alloc v) []
+          |> List.sort_uniq String.compare
+        in
+        let db = Database.create_partial t.schema ~tables:wanted in
+        List.iter
+          (fun tbl ->
+            match Database.copy_table_into ~src:t.master ~dst:db tbl with
+            | Ok _ -> ()
+            | Error e -> invalid_arg ("Controller.reallocate: " ^ e))
+          wanted;
+        t.backends.(v).db <- db;
+        t.backends.(v).pending_cost <- 0.)
+      plan.Physical.mapping;
+    t.allocation <- Some alloc;
+    Ok plan.Physical.transfer
+  end

@@ -1,0 +1,48 @@
+(** The CDBS controller — the middleware of the paper's prototype (Fig. 3).
+
+    Owns a set of backend databases (each an independent in-memory
+    {!Cdbs_storage} engine holding a subset of the tables), routes incoming
+    SQL by the least-pending rule, applies updates read-once/write-all, and
+    records every request in the query history.  Switching to allocation
+    mode classifies the history, computes a new allocation (greedy +
+    memetic), matches it cost-minimally against the running placement and
+    rebuilds the backends.
+
+    Physical placement is table-granular (the storage engine stores whole
+    tables); column-granular allocations are exercised at the model and
+    simulation level. *)
+
+type t
+
+val create :
+  schema:Cdbs_storage.Schema.t ->
+  rows:(string * int) list ->
+  backends:int ->
+  seed:int ->
+  t
+(** Bootstrap: generate data, start [backends] fully replicated backend
+    databases (the paper's initial configuration used to collect a first
+    weight distribution). *)
+
+val submit : t -> string -> (Cdbs_storage.Executor.result, string) result
+(** Route and execute one SQL statement; reads run on the least-pending
+    eligible backend, updates on every backend holding the touched tables
+    (and on the controller's authoritative master copy).  The request and
+    its cost are recorded in the query history. *)
+
+val journal : t -> Cdbs_core.Journal.t
+val allocation : t -> Cdbs_core.Allocation.t option
+(** [None] while fully replicated (before the first reallocation). *)
+
+val backend_tables : t -> string list list
+(** Per backend, the tables it currently stores. *)
+
+val reallocate : t -> ?iterations:int -> unit -> (float, string) result
+(** Allocation mode: classify the history at table granularity, run greedy
+    plus memetic improvement, deploy via Hungarian matching and bulk table
+    copies.  Returns the total megabytes shipped.  Fails when the history
+    is empty. *)
+
+val stats : t -> int * float
+(** [(processed, total_cost)]: requests processed and their accumulated
+    cost since creation. *)

@@ -1,0 +1,37 @@
+type params = {
+  base_latency : float;
+  scan_seconds_per_mb : float;
+  cache_mb : float;
+  cold_penalty : float;
+  update_factor : float;
+  sync_overhead : float;
+}
+
+let default =
+  {
+    base_latency = 0.01;
+    scan_seconds_per_mb = 0.001;
+    cache_mb = 500.;
+    cold_penalty = 1.35;
+    update_factor = 1.0;
+    sync_overhead = 0.02;
+  }
+
+let cache_factor p ~resident_mb =
+  if resident_mb <= p.cache_mb || resident_mb <= 0. then 1.
+  else
+    let spill = (resident_mb -. p.cache_mb) /. resident_mb in
+    1. +. ((p.cold_penalty -. 1.) *. spill)
+
+let service_time p ~class_mb ~resident_mb ~speed ~is_update ~replicas =
+  if speed <= 0. then invalid_arg "Cost_model.service_time: speed <= 0";
+  if replicas < 1 then invalid_arg "Cost_model.service_time: replicas < 1";
+  let scan = class_mb *. p.scan_seconds_per_mb *. cache_factor p ~resident_mb in
+  let t = p.base_latency +. scan in
+  let t =
+    if is_update then
+      t *. p.update_factor
+      *. (1. +. (p.sync_overhead *. float_of_int (replicas - 1)))
+    else t
+  in
+  t /. speed

@@ -1,0 +1,44 @@
+(** Backend service-time model.
+
+    Stands in for the paper's real PostgreSQL/MySQL backends.  A query's
+    service time grows with the bytes its class scans and shrinks when the
+    backend's resident data set fits its cache — the effect behind the
+    paper's observation that partially replicated backends, being
+    specialized on fewer classes, cache better and reach super-linear
+    speedup on TPC-H (Sec. 4.1).  Column-granularity classes scan only the
+    referenced columns, giving vertical partitioning its additional edge. *)
+
+type params = {
+  base_latency : float;  (** fixed per-request overhead, seconds *)
+  scan_seconds_per_mb : float;  (** scan cost per MB of class data *)
+  cache_mb : float;  (** per-backend cache capacity *)
+  cold_penalty : float;
+      (** multiplier applied to the portion of the resident set that spills
+          out of cache (1.0 = no penalty) *)
+  update_factor : float;  (** updates cost this multiple of an equal-size read *)
+  sync_overhead : float;
+      (** ROWA synchronization overhead per additional replica of an
+          update: ordering all replicas' writes consistently costs more as
+          the replica set grows *)
+}
+
+val default : params
+(** Calibrated so a 1-node TPC-H-style setup processes on the order of one
+    query per second at SF1, as in Fig. 4(a). *)
+
+val service_time :
+  params ->
+  class_mb:float ->
+  resident_mb:float ->
+  speed:float ->
+  is_update:bool ->
+  replicas:int ->
+  float
+(** Service time of one request of a class scanning [class_mb] on a backend
+    storing [resident_mb] in total, running at relative [speed] (1.0 = one
+    reference node).  [replicas] is the number of backends an update is
+    applied to (1 for reads). *)
+
+val cache_factor : params -> resident_mb:float -> float
+(** The caching multiplier: 1.0 when the resident set fits in cache, rising
+    toward [cold_penalty] as it outgrows it. *)

@@ -1,0 +1,32 @@
+type t =
+  | Rowa
+  | Primary_copy
+  | Lazy of { apply_factor : float }
+
+let default = Rowa
+
+let name = function
+  | Rowa -> "rowa"
+  | Primary_copy -> "primary-copy"
+  | Lazy _ -> "lazy"
+
+type split = {
+  sync : int list;
+  async : (int * float) list;
+}
+
+let plan t ~targets =
+  match targets with
+  | [] -> invalid_arg "Protocol.plan: no targets"
+  | primary :: followers -> (
+      match t with
+      | Rowa -> { sync = targets; async = [] }
+      | Primary_copy ->
+          { sync = [ primary ]; async = List.map (fun b -> (b, 1.)) followers }
+      | Lazy { apply_factor } ->
+          if apply_factor < 0. then
+            invalid_arg "Protocol.plan: negative apply factor";
+          {
+            sync = [ primary ];
+            async = List.map (fun b -> (b, apply_factor)) followers;
+          })

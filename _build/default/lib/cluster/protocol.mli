@@ -1,0 +1,37 @@
+(** Update-propagation protocols.
+
+    The paper's processing model uses read-once/write-all (ROWA) and notes
+    that primary-copy and lazy replication "could be easily incorporated
+    into our model and system" (Sec. 2).  This module incorporates them:
+
+    - {!Rowa}: an update is applied synchronously on every backend holding
+      the touched data; the request completes when the slowest replica is
+      done.  Strong consistency, full cost on the critical path.
+    - {!Primary_copy}: the update commits on one designated primary replica
+      and the request returns; the remaining replicas apply the same work
+      asynchronously (it still occupies their queues, but off the critical
+      path).
+    - {!Lazy}: like primary copy, but replica application is batched:
+      followers pay only [apply_factor] of the primary's work, at the price
+      of a staleness window. *)
+
+type t =
+  | Rowa
+  | Primary_copy
+  | Lazy of { apply_factor : float }
+
+val default : t
+(** {!Rowa}, the paper's protocol. *)
+
+val name : t -> string
+
+type split = {
+  sync : int list;  (** backends on the request's critical path *)
+  async : (int * float) list;
+      (** backends applying the update off the critical path, with the
+          fraction of the full work each pays *)
+}
+
+val plan : t -> targets:int list -> split
+(** [plan p ~targets] splits an update's target backends.  [targets] must
+    be non-empty; its first element acts as the primary. *)

@@ -1,0 +1,84 @@
+module Allocation = Cdbs_core.Allocation
+module Query_class = Cdbs_core.Query_class
+module Fragment = Cdbs_core.Fragment
+module Workload = Cdbs_core.Workload
+
+type t = {
+  alloc : Allocation.t;
+  class_by_id : (string, Query_class.t) Hashtbl.t;
+  free_at : float array;
+  up : bool array;
+}
+
+let create alloc =
+  let class_by_id = Hashtbl.create 32 in
+  Array.iter
+    (fun c -> Hashtbl.replace class_by_id c.Query_class.id c)
+    (Allocation.classes alloc);
+  {
+    alloc;
+    class_by_id;
+    free_at = Array.make (Allocation.num_backends alloc) 0.;
+    up = Array.make (Allocation.num_backends alloc) true;
+  }
+
+(* The schema records which backends a class was assigned to; the scheduler
+   routes among those.  Backends that merely happen to hold the data (e.g.
+   k-safety standby replicas) are used only when no assigned backend
+   exists. *)
+let eligible_for_read t c =
+  let all = List.init (Allocation.num_backends t.alloc) (fun b -> b) in
+  let assigned =
+    List.filter
+      (fun b -> t.up.(b) && Allocation.get_assign t.alloc b c > 0.)
+      all
+  in
+  if assigned <> [] then assigned
+  else
+    List.filter (fun b -> t.up.(b) && Allocation.holds t.alloc b c) all
+
+let targets_for_update t (c : Query_class.t) =
+  List.filter
+    (fun b ->
+      t.up.(b)
+      && not
+           (Fragment.Set.is_empty
+              (Fragment.Set.inter c.Query_class.fragments
+                 (Allocation.fragments_of t.alloc b))))
+    (List.init (Allocation.num_backends t.alloc) (fun b -> b))
+
+let set_down t ~backend = t.up.(backend) <- false
+let is_up t ~backend = t.up.(backend)
+let pending t ~backend ~now = max 0. (t.free_at.(backend) -. now)
+let free_at t ~backend = t.free_at.(backend)
+let book t ~backend ~finish = t.free_at.(backend) <- finish
+
+let route t ~now (r : Request.t) =
+  match Hashtbl.find_opt t.class_by_id r.Request.class_id with
+  | None -> Error ("unknown query class " ^ r.Request.class_id)
+  | Some c ->
+      if r.Request.is_update then begin
+        match targets_for_update t c with
+        | [] -> Error ("update class " ^ c.Query_class.id ^ " has no replica")
+        | targets -> Ok targets
+      end
+      else begin
+        match eligible_for_read t c with
+        | [] -> Error ("read class " ^ c.Query_class.id ^ " is not served")
+        | candidates ->
+            (* Least pending request first. *)
+            let best =
+              List.fold_left
+                (fun acc b ->
+                  match acc with
+                  | None -> Some b
+                  | Some cur ->
+                      if
+                        pending t ~backend:b ~now
+                        < pending t ~backend:cur ~now
+                      then Some b
+                      else acc)
+                None candidates
+            in
+            Ok [ Option.get best ]
+      end

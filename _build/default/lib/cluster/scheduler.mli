@@ -1,0 +1,36 @@
+(** Least-pending-request-first scheduling (paper Sec. 2).
+
+    The controller keeps a queue per backend.  A read goes to the eligible
+    backend (one holding all of its class's data) with the least pending
+    work; an update is enqueued on {e every} backend holding any of its
+    referenced data (read-once/write-all). *)
+
+type t
+
+val create : Cdbs_core.Allocation.t -> t
+(** Scheduler over the allocation's placement.  Eligibility derives from
+    the fragment sets, so a zero-weight k-safety replica also serves its
+    class. *)
+
+val eligible_for_read : t -> Cdbs_core.Query_class.t -> int list
+val targets_for_update : t -> Cdbs_core.Query_class.t -> int list
+
+val route : t -> now:float -> Request.t -> (int list, string) result
+(** Backends that must process the request (singleton for reads).  Pending
+    work bookkeeping is updated by {!book}. *)
+
+val book : t -> backend:int -> finish:float -> unit
+(** Record that the backend's queue now drains at [finish]. *)
+
+val pending : t -> backend:int -> now:float -> float
+(** Remaining queued work (seconds) on the backend at time [now]. *)
+
+val free_at : t -> backend:int -> float
+(** Time at which the backend's queue is empty. *)
+
+val set_down : t -> backend:int -> unit
+(** Mark a backend as failed: it receives no further work.  Reads fall back
+    to any surviving backend holding their class's data (k-safety standby
+    replicas, Appendix C); updates skip the dead replica. *)
+
+val is_up : t -> backend:int -> bool

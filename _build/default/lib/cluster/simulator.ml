@@ -1,0 +1,141 @@
+module Allocation = Cdbs_core.Allocation
+module Query_class = Cdbs_core.Query_class
+
+type config = {
+  cost : Cost_model.params;
+  speeds : float array;
+  protocol : Protocol.t;
+}
+
+let homogeneous_config ?(cost = Cost_model.default)
+    ?(protocol = Protocol.default) n =
+  if n <= 0 then invalid_arg "Simulator.homogeneous_config";
+  { cost; speeds = Array.make n 1.; protocol }
+
+type outcome = {
+  completed : int;
+  makespan : float;
+  throughput : float;
+  avg_response : float;
+  max_response : float;
+  busy : float array;
+  utilization : float array;
+  errors : int;
+}
+
+let find_class alloc id =
+  let classes = Allocation.classes alloc in
+  let rec go i =
+    if i >= Array.length classes then None
+    else if classes.(i).Query_class.id = id then Some classes.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let class_mb alloc (r : Request.t) =
+  match r.Request.cost_mb with
+  | Some mb -> mb
+  | None -> (
+      match find_class alloc r.Request.class_id with
+      | Some c -> Query_class.size c
+      | None -> 0.)
+
+let run ?(failures = []) ~respect_arrivals config alloc requests =
+  let n = Allocation.num_backends alloc in
+  if Array.length config.speeds <> n then
+    invalid_arg "Simulator.run: speeds length <> backend count";
+  let sched = Scheduler.create alloc in
+  let pending_failures =
+    ref (List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) failures)
+  in
+  let busy = Array.make n 0. in
+  let completed = ref 0 and errors = ref 0 in
+  let response_sum = ref 0. and response_max = ref 0. in
+  let resident =
+    Array.init n (fun b ->
+        Cdbs_core.Fragment.set_size (Allocation.fragments_of alloc b))
+  in
+  List.iter
+    (fun (r : Request.t) ->
+      let now = if respect_arrivals then r.Request.arrival else 0. in
+      let rec apply_failures () =
+        match !pending_failures with
+        | (at, b) :: rest when at <= now ->
+            Scheduler.set_down sched ~backend:b;
+            pending_failures := rest;
+            apply_failures ()
+        | _ -> ()
+      in
+      apply_failures ();
+      match Scheduler.route sched ~now r with
+      | Error _ -> incr errors
+      | Ok targets ->
+          let mb = class_mb alloc r in
+          (* The protocol decides which replicas sit on the request's
+             critical path; a read always has exactly one target. *)
+          let split =
+            if r.Request.is_update then
+              Protocol.plan config.protocol ~targets
+            else { Protocol.sync = targets; async = [] }
+          in
+          let replicas =
+            if r.Request.is_update then List.length split.Protocol.sync else 1
+          in
+          let serve b ~factor =
+            let service =
+              factor
+              *. Cost_model.service_time config.cost ~class_mb:mb
+                   ~resident_mb:resident.(b) ~speed:config.speeds.(b)
+                   ~is_update:r.Request.is_update ~replicas
+            in
+            let start = max now (Scheduler.free_at sched ~backend:b) in
+            let finish = start +. service in
+            Scheduler.book sched ~backend:b ~finish;
+            busy.(b) <- busy.(b) +. service;
+            finish
+          in
+          let finish_all = ref 0. in
+          List.iter
+            (fun b ->
+              let finish = serve b ~factor:1. in
+              if finish > !finish_all then finish_all := finish)
+            split.Protocol.sync;
+          (* Asynchronous replica application: occupies the queues but not
+             the response. *)
+          List.iter
+            (fun (b, factor) -> ignore (serve b ~factor))
+            split.Protocol.async;
+          incr completed;
+          let response = !finish_all -. now in
+          response_sum := !response_sum +. response;
+          if response > !response_max then response_max := response)
+    requests;
+  let makespan =
+    let m = ref 0. in
+    for b = 0 to n - 1 do
+      if Scheduler.free_at sched ~backend:b > !m then
+        m := Scheduler.free_at sched ~backend:b
+    done;
+    !m
+  in
+  {
+    completed = !completed;
+    makespan;
+    throughput = (if makespan > 0. then float_of_int !completed /. makespan else 0.);
+    avg_response =
+      (if !completed > 0 then !response_sum /. float_of_int !completed else 0.);
+    max_response = !response_max;
+    busy;
+    utilization =
+      Array.map (fun b -> if makespan > 0. then b /. makespan else 0.) busy;
+    errors = !errors;
+  }
+
+let run_batch config alloc requests =
+  run ~respect_arrivals:false config alloc requests
+
+let run_open config alloc requests =
+  run ~respect_arrivals:true config alloc requests
+
+let run_open_with_failures config alloc requests ~failures =
+  run ~failures ~respect_arrivals:true config alloc requests

@@ -1,0 +1,60 @@
+(** Cluster execution simulator.
+
+    Replaces the paper's physical 16-node cluster: requests are dispatched
+    by the least-pending-first scheduler onto single-server FIFO backends
+    whose service times come from {!Cost_model}.  Reads run on one backend;
+    updates run on every backend holding the touched data (ROWA).
+
+    Two drive modes:
+    - {!run_batch} saturates the cluster with a fixed request list (all
+      available immediately) and reports makespan-based throughput — the
+      mode behind the throughput/speedup figures;
+    - {!run_open} replays timestamped arrivals and reports response times —
+      the mode behind the elastic-scaling experiment (Fig. 5). *)
+
+type config = {
+  cost : Cost_model.params;
+  speeds : float array;
+      (** per-backend speed relative to a reference node; [ [|1.;1.|] ] is
+          a homogeneous 2-node cluster *)
+  protocol : Protocol.t;
+      (** how updates propagate to replicas (default {!Protocol.Rowa}) *)
+}
+
+val homogeneous_config :
+  ?cost:Cost_model.params -> ?protocol:Protocol.t -> int -> config
+
+type outcome = {
+  completed : int;  (** requests fully processed *)
+  makespan : float;  (** time the last backend went idle *)
+  throughput : float;  (** completed / makespan *)
+  avg_response : float;  (** mean request response time (completion - arrival) *)
+  max_response : float;
+  busy : float array;  (** per-backend busy seconds *)
+  utilization : float array;  (** busy / makespan *)
+  errors : int;  (** requests that could not be routed *)
+}
+
+val run_batch :
+  config -> Cdbs_core.Allocation.t -> Request.t list -> outcome
+(** All requests offered at time 0, dispatched in list order. *)
+
+val run_open :
+  config -> Cdbs_core.Allocation.t -> Request.t list -> outcome
+(** Requests dispatched at their [arrival] timestamps (list must be sorted
+    by arrival). *)
+
+val run_open_with_failures :
+  config ->
+  Cdbs_core.Allocation.t ->
+  Request.t list ->
+  failures:(float * int) list ->
+  outcome
+(** Like {!run_open}, but each [(time, backend)] failure takes the backend
+    out of service from that time on.  Requests that no surviving backend
+    can serve count as [errors] — zero for an adequately k-safe allocation
+    (Appendix C). *)
+
+val class_mb : Cdbs_core.Allocation.t -> Request.t -> float
+(** The megabytes a request's class scans (its fragment footprint, or the
+    request's override). *)

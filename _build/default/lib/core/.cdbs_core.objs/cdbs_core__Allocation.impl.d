@@ -1,0 +1,1 @@
+lib/core/allocation.ml: Array Backend Fmt Fragment Hashtbl List Query_class String Workload

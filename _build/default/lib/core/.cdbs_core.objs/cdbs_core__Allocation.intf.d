@@ -1,0 +1,1 @@
+lib/core/allocation.mli: Backend Fmt Fragment Query_class Workload

@@ -1,0 +1,1 @@
+lib/core/balance.ml: Allocation Array Backend Cdbs_util List

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Allocation Array Backend Cdbs_util List Query_class Workload

@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Allocation Backend Cdbs_util Workload

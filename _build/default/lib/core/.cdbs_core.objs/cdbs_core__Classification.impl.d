@@ -1,0 +1,1 @@
+lib/core/classification.ml: Cdbs_sql Cdbs_storage Fragment Hashtbl Journal List Option Printf Query_class Stdlib Workload

@@ -1,0 +1,1 @@
+lib/core/classification.mli: Cdbs_sql Cdbs_storage Fragment Journal Workload

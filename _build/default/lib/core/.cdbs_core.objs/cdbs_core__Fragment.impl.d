@@ -1,0 +1,1 @@
+lib/core/fragment.ml: Cdbs_sql Fmt List Set Stdlib

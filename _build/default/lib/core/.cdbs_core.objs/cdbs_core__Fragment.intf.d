@@ -1,0 +1,1 @@
+lib/core/fragment.mli: Cdbs_sql Fmt Set

@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Allocation Array Backend Fragment Hashtbl List Query_class Stdlib Workload

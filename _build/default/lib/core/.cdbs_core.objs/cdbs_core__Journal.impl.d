@@ -1,0 +1,1 @@
+lib/core/journal.ml: Cdbs_util Fun Hashtbl List Option Printf String

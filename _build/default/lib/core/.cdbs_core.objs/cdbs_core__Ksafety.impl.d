@@ -1,0 +1,1 @@
+lib/core/ksafety.ml: Allocation Array Backend Fragment Greedy List Query_class Stdlib Workload

@@ -1,0 +1,1 @@
+lib/core/ksafety.mli: Allocation Backend Query_class Workload

@@ -1,0 +1,1 @@
+lib/core/memetic.ml: Allocation Array Cdbs_util Greedy List Query_class Workload

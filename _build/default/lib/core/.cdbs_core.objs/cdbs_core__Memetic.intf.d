@@ -1,0 +1,1 @@
+lib/core/memetic.mli: Allocation Backend Cdbs_util Workload

@@ -1,0 +1,1 @@
+lib/core/optimal.ml: Allocation Array Backend Cdbs_lp Fragment Greedy Hashtbl List Option Query_class String Workload

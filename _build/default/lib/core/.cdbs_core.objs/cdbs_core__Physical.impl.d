@@ -1,0 +1,1 @@
+lib/core/physical.ml: Allocation Array Cdbs_lp Fragment

@@ -1,0 +1,1 @@
+lib/core/query_class.ml: Fmt Fragment List String

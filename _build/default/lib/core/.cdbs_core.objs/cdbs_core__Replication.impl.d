@@ -1,0 +1,1 @@
+lib/core/replication.ml: Allocation Array Fragment List Workload

@@ -1,0 +1,1 @@
+lib/core/replication.mli: Allocation Fragment

@@ -1,0 +1,1 @@
+lib/core/robustness.ml: Allocation Array Backend List Query_class Stdlib Workload

@@ -1,0 +1,1 @@
+lib/core/robustness.mli: Allocation Query_class

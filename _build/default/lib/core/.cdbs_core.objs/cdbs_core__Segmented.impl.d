@@ -1,0 +1,1 @@
+lib/core/segmented.ml: Allocation Array Backend Hashtbl Journal List Option Physical Query_class Stdlib Workload

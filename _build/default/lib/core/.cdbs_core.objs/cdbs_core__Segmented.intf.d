@@ -1,0 +1,1 @@
+lib/core/segmented.mli: Allocation Journal Workload

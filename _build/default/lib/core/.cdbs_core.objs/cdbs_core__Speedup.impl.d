@@ -1,0 +1,1 @@
+lib/core/speedup.ml: Allocation List Workload

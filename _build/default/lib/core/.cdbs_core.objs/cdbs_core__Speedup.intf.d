@@ -1,0 +1,1 @@
+lib/core/speedup.mli: Allocation Workload

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Fmt Fragment List Printf Query_class String

@@ -1,0 +1,13 @@
+let utilizations alloc =
+  let backends = Allocation.backends alloc in
+  List.init (Array.length backends) (fun b ->
+      Allocation.assigned_load alloc b /. backends.(b).Backend.load)
+
+let deviation alloc = Cdbs_util.Stats.relative_deviation (utilizations alloc)
+
+let underloaded alloc =
+  let us = utilizations alloc in
+  let mean = Cdbs_util.Stats.mean us in
+  List.mapi (fun i u -> (i, u)) us
+  |> List.filter (fun (_, u) -> u < 0.95 *. mean)
+  |> List.map fst

@@ -1,0 +1,16 @@
+(** Load-balance measures (paper Fig. 4(j)).
+
+    The paper plots the relative deviation from the average per-node
+    processing time; an allocation that spreads its assigned weight in
+    proportion to backend capacity has deviation 0. *)
+
+val utilizations : Allocation.t -> float list
+(** Per backend: assigned load divided by the backend's relative
+    performance — 1.0 means exactly its fair share. *)
+
+val deviation : Allocation.t -> float
+(** Mean absolute relative deviation of the utilizations from their mean. *)
+
+val underloaded : Allocation.t -> int list
+(** Backends whose utilization is below 95% of the mean — the paper notes
+    imbalance always stems from underloaded, never overloaded, nodes. *)

@@ -1,0 +1,34 @@
+let full_replication workload backends =
+  let alloc = Allocation.create workload backends in
+  let n = Allocation.num_backends alloc in
+  let all = Workload.fragments workload in
+  for b = 0 to n - 1 do
+    Allocation.add_fragments alloc b all
+  done;
+  List.iter
+    (fun c ->
+      Array.iteri
+        (fun b backend ->
+          Allocation.set_assign alloc b c
+            (c.Query_class.weight *. backend.Backend.load))
+        (Allocation.backends alloc))
+    workload.Workload.reads;
+  Allocation.ensure_update_closure alloc;
+  alloc
+
+let random_placement ~rng workload backends =
+  let alloc = Allocation.create workload backends in
+  let n = Allocation.num_backends alloc in
+  List.iter
+    (fun c ->
+      let b = Cdbs_util.Rng.int rng n in
+      Allocation.add_fragments alloc b c.Query_class.fragments;
+      Allocation.set_assign alloc b c c.Query_class.weight)
+    workload.Workload.reads;
+  List.iter
+    (fun u ->
+      let b = Cdbs_util.Rng.int rng n in
+      Allocation.add_fragments alloc b u.Query_class.fragments)
+    workload.Workload.updates;
+  Allocation.ensure_update_closure alloc;
+  alloc

@@ -1,0 +1,12 @@
+(** Baseline allocation strategies the paper compares against. *)
+
+val full_replication : Workload.t -> Backend.t list -> Allocation.t
+(** Every backend stores every fragment; reads are spread in proportion to
+    backend capacity and updates run everywhere (ROWA).  The classic
+    cluster-database configuration (Sec. 2). *)
+
+val random_placement :
+  rng:Cdbs_util.Rng.t -> Workload.t -> Backend.t list -> Allocation.t
+(** Each query class is placed whole on a uniformly random backend; update
+    classes follow by closure.  The load lands wherever it lands — the
+    baseline whose imbalance caps its speedup in Fig. 4(a). *)

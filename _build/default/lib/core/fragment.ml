@@ -1,0 +1,51 @@
+type kind =
+  | Table of string
+  | Column of { table : string; column : string }
+  | Range of { table : string; column : string; lo : float; hi : float }
+
+type t = {
+  kind : kind;
+  size : float;
+}
+
+let table name ~size = { kind = Table name; size }
+let column table column ~size = { kind = Column { table; column }; size }
+
+let range table column ~lo ~hi ~size =
+  { kind = Range { table; column; lo; hi }; size }
+
+let name t =
+  match t.kind with
+  | Table n -> n
+  | Column { table; column } -> table ^ "." ^ column
+  | Range { table; column; lo; hi } ->
+      Fmt.str "%s.%s[%g,%g)" table column lo hi
+
+let compare a b = Stdlib.compare a.kind b.kind
+let equal a b = compare a b = 0
+let pp ppf t = Fmt.pf ppf "%s(%.2f)" (name t) t.size
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let set_size s = Set.fold (fun f acc -> acc +. f.size) s 0.
+
+let of_footprint ~granularity ~size_of (fp : Cdbs_sql.Analyze.footprint) =
+  match granularity with
+  | `Table ->
+      List.fold_left
+        (fun acc tbl ->
+          let kind = Table tbl in
+          Set.add { kind; size = size_of kind } acc)
+        Set.empty fp.Cdbs_sql.Analyze.tables
+  | `Column ->
+      List.fold_left
+        (fun acc (table, column) ->
+          if table = "?" then acc
+          else
+            let kind = Column { table; column } in
+            Set.add { kind; size = size_of kind } acc)
+        Set.empty fp.Cdbs_sql.Analyze.columns

@@ -1,0 +1,121 @@
+let class_replica_count alloc c =
+  let count = ref 0 in
+  for b = 0 to Allocation.num_backends alloc - 1 do
+    if Allocation.holds alloc b c then incr count
+  done;
+  !count
+
+let is_k_safe ~k alloc =
+  List.for_all
+    (fun c -> class_replica_count alloc c >= k + 1)
+    (Workload.all_classes (Allocation.workload alloc))
+
+let survives alloc ~failed =
+  let n = Allocation.num_backends alloc in
+  List.for_all
+    (fun c ->
+      let rec any b =
+        b < n
+        && ((not (List.mem b failed)) && Allocation.holds alloc b c
+           || any (b + 1))
+      in
+      any 0)
+    (Workload.all_classes (Allocation.workload alloc))
+
+(* Closure fragments a class drags along (its updates' data). *)
+let closure_fragments workload c =
+  List.fold_left
+    (fun acc u -> Fragment.Set.union acc u.Query_class.fragments)
+    c.Query_class.fragments
+    (Workload.updates_of workload c)
+
+(* Place one additional replica of [c] on the backend that does not yet hold
+   it and needs the least new data; ties broken by lowest relative load
+   (Algorithm 4 sets the difference to infinity for backends already
+   holding a replica). *)
+let place_replica alloc c =
+  let workload = Allocation.workload alloc in
+  let n = Allocation.num_backends alloc in
+  let backends = Allocation.backends alloc in
+  let best = ref (-1) and best_key = ref (infinity, infinity) in
+  for b = 0 to n - 1 do
+    if not (Allocation.holds alloc b c) then begin
+      let extra =
+        Fragment.set_size
+          (Fragment.Set.diff
+             (closure_fragments workload c)
+             (Allocation.fragments_of alloc b))
+      in
+      let utilization =
+        Allocation.assigned_load alloc b /. backends.(b).Backend.load
+      in
+      if (extra, utilization) < !best_key then begin
+        best := b;
+        best_key := (extra, utilization)
+      end
+    end
+  done;
+  match !best with
+  | -1 -> false
+  | b ->
+      Allocation.add_fragments alloc b (closure_fragments workload c);
+      Allocation.ensure_update_closure alloc;
+      true
+
+let replicate_all_classes ~k alloc =
+  let workload = Allocation.workload alloc in
+  (* Heaviest first: their replicas bring the most data and constrain
+     placement the most (same rationale as the base greedy order). *)
+  let classes =
+    List.sort
+      (fun a b -> Stdlib.compare b.Query_class.weight a.Query_class.weight)
+      (Workload.all_classes workload)
+  in
+  List.iter
+    (fun c ->
+      let missing = (k + 1) - class_replica_count alloc c in
+      for _ = 1 to missing do
+        ignore (place_replica alloc c)
+      done)
+    classes
+
+let allocate ~k workload backend_list =
+  if k < 0 then invalid_arg "Ksafety.allocate: negative k";
+  if k + 1 > List.length backend_list then
+    invalid_arg "Ksafety.allocate: k+1 exceeds the number of backends";
+  let alloc = Greedy.allocate workload backend_list in
+  replicate_all_classes ~k alloc;
+  alloc
+
+let replicate_fragments ~k alloc =
+  let n = Allocation.num_backends alloc in
+  if k + 1 > n then invalid_arg "Ksafety.replicate_fragments: k+1 > backends";
+  let backends = Allocation.backends alloc in
+  Fragment.Set.iter
+    (fun f ->
+      let holders = ref [] in
+      for b = 0 to n - 1 do
+        if Fragment.Set.mem f (Allocation.fragments_of alloc b) then
+          holders := b :: !holders
+      done;
+      let missing = (k + 1) - List.length !holders in
+      if missing > 0 then begin
+        (* Emptiest (relative to capacity) non-holders first. *)
+        let candidates =
+          List.init n (fun b -> b)
+          |> List.filter (fun b -> not (List.mem b !holders))
+          |> List.sort (fun a b ->
+                 Stdlib.compare
+                   (Allocation.assigned_load alloc a
+                   /. backends.(a).Backend.load)
+                   (Allocation.assigned_load alloc b
+                   /. backends.(b).Backend.load))
+        in
+        List.iteri
+          (fun i b ->
+            if i < missing then
+              Allocation.add_fragments alloc b (Fragment.Set.singleton f))
+          candidates
+      end)
+    (Workload.fragments (Allocation.workload alloc));
+  Allocation.ensure_update_closure alloc

@@ -1,0 +1,30 @@
+(** K-safe allocation (paper Appendix C, Algorithms 3–4).
+
+    With k-safety the cluster tolerates the loss of any k backends without
+    data loss or service interruption: every query class is allocated to at
+    least k+1 backends (so each query can still execute locally after k
+    failures), and consequently every fragment lives on at least k+1 nodes.
+    Replicated query-class copies carry zero read weight — they are standby
+    capacity — but replicated update classes do add update work. *)
+
+val allocate : k:int -> Workload.t -> Backend.t list -> Allocation.t
+(** Greedy allocation with the k-safety extension (Algorithm 4): after the
+    base first-fit pass, under-replicated classes are re-enqueued as
+    zero-weight replicas that must land on backends not already holding
+    them.  @raise Invalid_argument when [k + 1] exceeds the backend count. *)
+
+val replicate_fragments : k:int -> Allocation.t -> unit
+(** Fragment-level k-safety for read-only data (Eq. 46): place additional
+    copies of any fragment stored fewer than k+1 times, round-robin over
+    the emptiest backends.  In-place; re-establishes the update closure. *)
+
+val class_replica_count : Allocation.t -> Query_class.t -> int
+(** Number of backends holding all of the class's fragments. *)
+
+val is_k_safe : k:int -> Allocation.t -> bool
+(** Whether every query class of the workload is served by at least k+1
+    backends. *)
+
+val survives : Allocation.t -> failed:int list -> bool
+(** Whether every query class can still be processed locally by some
+    surviving backend after the listed backends fail. *)

@@ -1,0 +1,222 @@
+module Rng = Cdbs_util.Rng
+
+type local_search_mode =
+  | No_local_search
+  | Consolidate_only
+  | Both_strategies
+
+type params = {
+  population : int;
+  iterations : int;
+  mutations_per_parent : int;
+  local_search_mode : local_search_mode;
+}
+
+let default_params =
+  {
+    population = 12;
+    iterations = 60;
+    mutations_per_parent = 2;
+    local_search_mode = Both_strategies;
+  }
+
+let cost alloc = (Allocation.scale alloc, Allocation.total_stored alloc)
+
+let better (sa, za) (sb, zb) =
+  sa < sb -. 1e-9 || (abs_float (sa -. sb) <= 1e-9 && za < zb -. 1e-9)
+
+let compare_cost a b =
+  let ca = cost a and cb = cost b in
+  if better ca cb then -1 else if better cb ca then 1 else 0
+
+(* ------------------------------------------------------------------ *)
+(* Moves                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Move [amount] of read class [c]'s assignment from [b1] to [b2]; installs
+   the class's data (and update closure) on [b2] and prunes so dropped
+   classes release their fragments. *)
+let transfer alloc c ~b1 ~b2 ~amount =
+  let a1 = Allocation.get_assign alloc b1 c in
+  let amount = min amount a1 in
+  if amount > 0. && b1 <> b2 then begin
+    Allocation.set_assign alloc b1 c (a1 -. amount);
+    Allocation.add_fragments alloc b2 c.Query_class.fragments;
+    Allocation.set_assign alloc b2 c
+      (Allocation.get_assign alloc b2 c +. amount);
+    Allocation.prune alloc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Local search                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Strategy 1 (Eqs. 21-22): two read classes both split across a backend
+   pair, with different update sets — consolidating each class on one side
+   can drop a replicated update class. *)
+let consolidate_pairs alloc =
+  let workload = Allocation.workload alloc in
+  let reads = Array.of_list workload.Workload.reads in
+  let n = Allocation.num_backends alloc in
+  let improved = ref false in
+  for b1 = 0 to n - 1 do
+    for b2 = b1 + 1 to n - 1 do
+      Array.iteri
+        (fun i c1 ->
+          Array.iteri
+            (fun j c2 ->
+              if i < j then begin
+                let on b c = Allocation.get_assign alloc b c > 1e-12 in
+                if
+                  on b1 c1 && on b2 c1 && on b1 c2 && on b2 c2
+                  && Workload.updates_of workload c1
+                     <> Workload.updates_of workload c2
+                then begin
+                  let trial = Allocation.copy alloc in
+                  transfer trial c1 ~b1:b2 ~b2:b1 ~amount:infinity;
+                  transfer trial c2 ~b1 ~b2 ~amount:infinity;
+                  if better (cost trial) (cost alloc) then begin
+                    Allocation.blit ~src:trial ~dst:alloc;
+                    improved := true
+                  end
+                end
+              end)
+            reads)
+        reads
+    done
+  done;
+  !improved
+
+(* Strategy 2 (Eqs. 23-26): reduce the replication of a heavy update class
+   by shifting the read classes that force it off one of its backends,
+   accepting extra replication of lighter update classes. *)
+let shift_heavy_updates alloc =
+  let workload = Allocation.workload alloc in
+  let n = Allocation.num_backends alloc in
+  let improved = ref false in
+  List.iter
+    (fun u1 ->
+      for b1 = 0 to n - 1 do
+        for b2 = 0 to n - 1 do
+          if b1 <> b2 then begin
+            let on b u = Allocation.get_assign alloc b u > 1e-12 in
+            if on b1 u1 && on b2 u1 then begin
+              let lighter_exists =
+                List.exists
+                  (fun u2 ->
+                    u2.Query_class.id <> u1.Query_class.id
+                    && on b1 u2
+                    && u2.Query_class.weight < u1.Query_class.weight)
+                  workload.Workload.updates
+              in
+              if lighter_exists then begin
+                let trial = Allocation.copy alloc in
+                List.iter
+                  (fun c ->
+                    if
+                      Query_class.overlaps c u1
+                      && Allocation.get_assign trial b1 c > 1e-12
+                    then transfer trial c ~b1 ~b2 ~amount:infinity)
+                  workload.Workload.reads;
+                if better (cost trial) (cost alloc) then begin
+                  Allocation.blit ~src:trial ~dst:alloc;
+                  improved := true
+                end
+              end
+            end
+          end
+        done
+      done)
+    workload.Workload.updates;
+  !improved
+
+let local_search alloc =
+  let a = consolidate_pairs alloc in
+  let b = shift_heavy_updates alloc in
+  a || b
+
+(* ------------------------------------------------------------------ *)
+(* Mutation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mutate rng alloc =
+  let child = Allocation.copy alloc in
+  let workload = Allocation.workload child in
+  let reads = Array.of_list workload.Workload.reads in
+  let n = Allocation.num_backends child in
+  if Array.length reads = 0 || n < 2 then child
+  else begin
+    let attempts = 1 + Rng.int rng 3 in
+    for _ = 1 to attempts do
+      let c = Rng.pick rng reads in
+      (* Source: a backend currently serving c (if any). *)
+      let sources =
+        List.filter
+          (fun b -> Allocation.get_assign child b c > 1e-12)
+          (List.init n (fun b -> b))
+      in
+      match sources with
+      | [] -> ()
+      | _ ->
+          let b1 = Rng.pick_list rng sources in
+          let b2 = Rng.int rng n in
+          if b1 <> b2 then begin
+            let a1 = Allocation.get_assign child b1 c in
+            let amount = if Rng.bool rng then a1 else Rng.float rng a1 in
+            transfer child c ~b1 ~b2 ~amount
+          end
+    done;
+    child
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Evolutionary loop (Algorithm 2)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let take k l =
+  let rec go k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: go (k - 1) rest
+  in
+  go k l
+
+let improve ?(params = default_params) ~rng alloc =
+  let p = max 3 params.population in
+  let population = ref [ Allocation.copy alloc ] in
+  for _ = 1 to params.iterations do
+    (* Offspring: mutations of random parents. *)
+    let parents = Array.of_list !population in
+    let offspring =
+      List.init
+        (max p (params.mutations_per_parent * Array.length parents))
+        (fun _ -> mutate rng (Rng.pick rng parents))
+    in
+    (* (λ+µ) selection: best 2/3 old, best 1/3 offspring. *)
+    let n_old = max 1 (2 * p / 3) in
+    let n_new = max 1 (p - n_old) in
+    let best l = List.sort compare_cost l in
+    let survivors =
+      take n_old (best !population) @ take n_new (best offspring)
+    in
+    (* Memetic step: improve a random third of the new population. *)
+    let survivors = Array.of_list survivors in
+    let improve_one alloc =
+      match params.local_search_mode with
+      | No_local_search -> ()
+      | Consolidate_only -> ignore (consolidate_pairs alloc)
+      | Both_strategies -> ignore (local_search alloc)
+    in
+    let k = max 1 (Array.length survivors / 3) in
+    for _ = 1 to k do
+      let i = Rng.int rng (Array.length survivors) in
+      improve_one survivors.(i)
+    done;
+    population := Array.to_list survivors
+  done;
+  let all = alloc :: !population in
+  List.hd (List.sort compare_cost all)
+
+let allocate ?params ~rng workload backend_list =
+  let seed = Greedy.allocate workload backend_list in
+  improve ?params ~rng seed

@@ -1,0 +1,54 @@
+(** Memetic (evolutionary + local search) allocation improvement
+    (paper Algorithm 2, Sec. 3.3).
+
+    Evolutionary programming over allocations: mutations perturb a single
+    parent (no recombination), selection keeps the best 2/3 of the parents
+    and the best 1/3 of the offspring (a (λ+µ) strategy), and a random 1/3
+    of the surviving population is improved by local search each iteration
+    — the paper's two strategies:
+
+    - consolidating read classes that share backends so a replicated update
+      class can be dropped (Eqs. 21–22);
+    - shifting read classes so a heavy replicated update class trades
+      places with a lighter one (Eqs. 23–26).
+
+    The cost function is lexicographic, matching the paper's objective:
+    scale (throughput) first, total stored bytes (replication) second. *)
+
+type local_search_mode =
+  | No_local_search  (** plain evolutionary programming *)
+  | Consolidate_only  (** strategy 1 only (Eqs. 21–22) *)
+  | Both_strategies  (** the full memetic algorithm *)
+
+type params = {
+  population : int;  (** population size p (default 12) *)
+  iterations : int;  (** generations to run (default 60) *)
+  mutations_per_parent : int;  (** offspring generated per survivor *)
+  local_search_mode : local_search_mode;  (** default [Both_strategies] *)
+}
+
+val default_params : params
+
+val cost : Allocation.t -> float * float
+(** [(scale, stored_bytes)] — compared lexicographically. *)
+
+val improve :
+  ?params:params ->
+  rng:Cdbs_util.Rng.t ->
+  Allocation.t ->
+  Allocation.t
+(** Improve an initial (typically greedy) allocation.  The result is always
+    valid and never worse than the input under {!cost}. *)
+
+val allocate :
+  ?params:params ->
+  rng:Cdbs_util.Rng.t ->
+  Workload.t ->
+  Backend.t list ->
+  Allocation.t
+(** Greedy seed followed by {!improve} — the paper's full heuristic
+    pipeline. *)
+
+val local_search : Allocation.t -> bool
+(** One pass of the two local-search strategies, in place; returns whether
+    anything improved.  Exposed for unit tests. *)

@@ -1,0 +1,53 @@
+(** Physical allocation: deploying a newly computed allocation onto backends
+    that already hold data (paper Sec. 3.4), and elastic scale-out/scale-in
+    (Sec. 5).
+
+    The mapping of new to old backends is a minimum-cost perfect matching in
+    a complete bipartite graph whose edge weight is the size of the data
+    that would have to be shipped (Eq. 27); the Hungarian method solves it
+    in O(n³).  For scaling, the smaller side is padded with empty virtual
+    backends. *)
+
+type plan = {
+  mapping : int array;
+      (** [mapping.(v) = u]: new backend v is deployed on old backend u;
+          [-1] for a fresh (previously empty) node *)
+  transfer : float;  (** total fragment size to ship and load *)
+  per_backend : float array;  (** data shipped to each new backend *)
+}
+
+val transfer_cost : old_fragments:Fragment.Set.t -> Fragment.Set.t -> float
+(** Eq. 27: total size of the fragments a new backend needs that the old
+    backend does not already hold. *)
+
+val plan : old_alloc:Allocation.t -> Allocation.t -> plan
+(** Cost-minimal deployment of the new allocation onto the old one.  Both
+    must have the same number of backends; use {!plan_scaled} otherwise. *)
+
+val plan_scaled : old_fragments:Fragment.Set.t list -> Allocation.t -> plan
+(** Deployment when the node count changes: [old_fragments] lists what each
+    currently running backend stores (possibly fewer or more entries than
+    the new allocation has backends).  Extra old backends are
+    decommissioned; extra new backends start empty. *)
+
+val deltas :
+  plan ->
+  old_fragments:Fragment.Set.t list ->
+  new_fragments:Fragment.Set.t list ->
+  Fragment.Set.t list
+(** Per new backend, the fragments that must actually be shipped under the
+    matching (what the ETL step copies); everything else is already in
+    place on the matched old node. *)
+
+val duration :
+  ?prepare_rate:float ->
+  ?transfer_rate:float ->
+  ?load_rate:float ->
+  plan ->
+  fragmentation:float ->
+  float
+(** Estimated wall-clock seconds for the reallocation — the model behind
+    Fig. 4(d): fragment preparation over the [fragmentation] volume, serial
+    network shipping of the plan's total transfer from the single source,
+    and parallel bulk loading bounded by the slowest backend.  Rates are in
+    MB/s; full replication ships whole tables and has [fragmentation] 0. *)

@@ -1,0 +1,41 @@
+(** Time-segmented allocation for periodically changing workloads
+    (paper Sec. 5, Fig. 6).
+
+    The query history is cut into segments where the class mix is stable (a
+    sliding window compares mix variance); each segment gets its own
+    allocation, and the per-segment allocations are merged — aligning their
+    backends with the Hungarian method so overlapping placements land on the
+    same nodes — into one combined allocation that serves every segment's
+    load shape without reallocation. *)
+
+type segment = {
+  start_time : float;
+  end_time : float;
+  journal : Journal.t;
+}
+
+val segment_journal :
+  window:float -> threshold:float -> Journal.t -> segment list
+(** Slide a [window]-second window over the journal (ordered by entry
+    time); a new segment starts whenever the class-mix distance between
+    adjacent windows exceeds [threshold] (total-variation distance on the
+    per-statement cost shares, 0..1).  Always returns at least one segment
+    covering the whole journal. *)
+
+val merge : Allocation.t list -> Allocation.t
+(** Merge per-segment allocations over the same backends: segment i+1's
+    backends are matched to the merged allocation's backends by minimal
+    additional data (Eq. 27); fragment sets are united; each class's
+    assignment becomes its maximum share over the segments (standby
+    capacity for the segment where it peaks).  @raise Invalid_argument on
+    an empty list or mismatched backend counts. *)
+
+val allocate_segmented :
+  classify:(Journal.t -> Workload.t) ->
+  allocate:(Workload.t -> Allocation.t) ->
+  window:float ->
+  threshold:float ->
+  Journal.t ->
+  Allocation.t * segment list
+(** End-to-end pipeline: segment, classify and allocate each segment, then
+    {!merge}. *)

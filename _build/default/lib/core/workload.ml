@@ -1,0 +1,64 @@
+type t = {
+  reads : Query_class.t list;
+  updates : Query_class.t list;
+}
+
+let make ~reads ~updates = { reads; updates }
+let all_classes t = t.reads @ t.updates
+
+let fragments t =
+  List.fold_left
+    (fun acc c -> Fragment.Set.union acc c.Query_class.fragments)
+    Fragment.Set.empty (all_classes t)
+
+let updates_of t c =
+  List.filter (fun u -> Query_class.overlaps u c) t.updates
+
+let update_weight_of t c =
+  List.fold_left
+    (fun acc u -> acc +. u.Query_class.weight)
+    0. (updates_of t c)
+
+let total_weight t =
+  List.fold_left
+    (fun acc c -> acc +. c.Query_class.weight)
+    0. (all_classes t)
+
+let normalize t =
+  let total = total_weight t in
+  if total <= 0. then t
+  else
+    let scale c =
+      { c with Query_class.weight = c.Query_class.weight /. total }
+    in
+    { reads = List.map scale t.reads; updates = List.map scale t.updates }
+
+let validate t =
+  let classes = all_classes t in
+  let ids = List.map (fun c -> c.Query_class.id) classes in
+  if List.length (List.sort_uniq String.compare ids) <> List.length ids then
+    Error "duplicate query class ids"
+  else if List.exists (fun c -> c.Query_class.weight < 0.) classes then
+    Error "negative class weight"
+  else if
+    List.exists
+      (fun c -> Fragment.Set.is_empty c.Query_class.fragments)
+      classes
+  then Error "query class with empty fragment set"
+  else if List.exists Query_class.is_update t.reads then
+    Error "update class listed among reads"
+  else if List.exists (fun c -> not (Query_class.is_update c)) t.updates then
+    Error "read class listed among updates"
+  else if abs_float (total_weight t -. 1.) > 1e-6 then
+    Error (Printf.sprintf "weights sum to %f, expected 1" (total_weight t))
+  else Ok ()
+
+let find t id =
+  List.find_opt (fun c -> c.Query_class.id = id) (all_classes t)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>reads:@,%a@,updates:@,%a@]"
+    Fmt.(list Query_class.pp)
+    t.reads
+    Fmt.(list Query_class.pp)
+    t.updates

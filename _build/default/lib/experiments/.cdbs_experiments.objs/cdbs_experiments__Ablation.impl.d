@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Cdbs_autoscale Cdbs_cluster Cdbs_core Cdbs_util Cdbs_workloads Common Fmt List

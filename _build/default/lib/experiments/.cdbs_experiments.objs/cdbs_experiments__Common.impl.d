@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Cdbs_cluster Cdbs_core Fmt List

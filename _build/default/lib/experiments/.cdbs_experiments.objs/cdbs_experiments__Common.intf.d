@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Cdbs_cluster Cdbs_core Cdbs_util

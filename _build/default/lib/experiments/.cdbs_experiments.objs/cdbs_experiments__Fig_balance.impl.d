@@ -1,0 +1,1 @@
+lib/experiments/fig_balance.ml: Array Cdbs_cluster Cdbs_core Cdbs_util Cdbs_workloads Common List

@@ -1,0 +1,1 @@
+lib/experiments/fig_elastic.ml: Cdbs_autoscale Cdbs_core Cdbs_util Cdbs_workloads Common Fmt List

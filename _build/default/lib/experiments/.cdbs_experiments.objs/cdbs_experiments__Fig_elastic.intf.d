@@ -1,0 +1,1 @@
+lib/experiments/fig_elastic.mli: Cdbs_autoscale

@@ -1,0 +1,1 @@
+lib/experiments/fig_tpch.ml: Cdbs_cluster Cdbs_core Cdbs_util Cdbs_workloads Common List Option Printf

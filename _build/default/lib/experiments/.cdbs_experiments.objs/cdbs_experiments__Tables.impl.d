@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Allocation Backend Cdbs_core Common Fmt Fragment Greedy Query_class Replication Speedup Workload

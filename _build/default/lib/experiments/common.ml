@@ -1,0 +1,63 @@
+module Allocation = Cdbs_core.Allocation
+module Workload = Cdbs_core.Workload
+module Greedy = Cdbs_core.Greedy
+module Memetic = Cdbs_core.Memetic
+module Query_class = Cdbs_core.Query_class
+module Simulator = Cdbs_cluster.Simulator
+
+type strategy =
+  | Full_replication
+  | Table_based
+  | Column_based
+  | Random_placement
+
+let strategy_name = function
+  | Full_replication -> "full"
+  | Table_based -> "table"
+  | Column_based -> "column"
+  | Random_placement -> "random"
+
+let full_replication = Cdbs_core.Baselines.full_replication
+
+let memetic_params =
+  { Memetic.default_params with Memetic.iterations = 30; population = 8 }
+
+let allocate ~rng strategy ~table_workload ~column_workload backends =
+  match strategy with
+  | Full_replication -> full_replication table_workload backends
+  | Table_based ->
+      Memetic.improve ~params:memetic_params ~rng
+        (Greedy.allocate table_workload backends)
+  | Column_based ->
+      Memetic.improve ~params:memetic_params ~rng
+        (Greedy.allocate column_workload backends)
+  | Random_placement ->
+      Cdbs_core.Baselines.random_placement ~rng column_workload backends
+
+let simulate ?(cost = Cdbs_cluster.Cost_model.default)
+    ?(protocol = Cdbs_cluster.Protocol.default) alloc requests =
+  let n = Allocation.num_backends alloc in
+  let config = { Simulator.cost; speeds = Array.make n 1.; protocol } in
+  Simulator.run_batch config alloc requests
+
+let header title =
+  Fmt.pr "@.=== %s ===@." title
+
+let table ~columns rows =
+  let width = 12 in
+  Fmt.pr "%-28s" "";
+  List.iter (fun c -> Fmt.pr "%*s" width c) columns;
+  Fmt.pr "@.";
+  List.iter
+    (fun (label, values) ->
+      Fmt.pr "%-28s" label;
+      List.iter (fun v -> Fmt.pr "%*.3f" width v) values;
+      Fmt.pr "@.")
+    rows
+
+let mean_of_runs f ~runs =
+  let total = ref 0. in
+  for seed = 1 to runs do
+    total := !total +. f seed
+  done;
+  !total /. float_of_int runs

@@ -1,0 +1,41 @@
+(** Shared plumbing for the experiment harness: allocation strategies,
+    simulation driving, and table printing. *)
+
+type strategy =
+  | Full_replication
+  | Table_based
+  | Column_based
+  | Random_placement
+
+val strategy_name : strategy -> string
+
+val allocate :
+  rng:Cdbs_util.Rng.t ->
+  strategy ->
+  table_workload:Cdbs_core.Workload.t ->
+  column_workload:Cdbs_core.Workload.t ->
+  Cdbs_core.Backend.t list ->
+  Cdbs_core.Allocation.t
+(** Build the allocation a strategy yields.  Full replication is modeled as
+    a single-class-style placement: every backend holds every fragment of
+    the table workload and reads are spread evenly. *)
+
+val full_replication :
+  Cdbs_core.Workload.t -> Cdbs_core.Backend.t list -> Cdbs_core.Allocation.t
+
+val simulate :
+  ?cost:Cdbs_cluster.Cost_model.params ->
+  ?protocol:Cdbs_cluster.Protocol.t ->
+  Cdbs_core.Allocation.t ->
+  Cdbs_cluster.Request.t list ->
+  Cdbs_cluster.Simulator.outcome
+(** Batch-mode simulation with homogeneous unit-speed backends. *)
+
+val header : string -> unit
+(** Print a section header for the harness output. *)
+
+val table : columns:string list -> (string * float list) list -> unit
+(** Print an aligned table: row label plus one value per column. *)
+
+val mean_of_runs : (int -> float) -> runs:int -> float
+(** Average [f seed] over seeds 1..runs. *)

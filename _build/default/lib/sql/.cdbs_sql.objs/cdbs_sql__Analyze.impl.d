@@ -1,0 +1,1 @@
+lib/sql/analyze.ml: Ast Fmt List Option Parser String

@@ -1,0 +1,1 @@
+lib/sql/analyze.mli: Ast Fmt

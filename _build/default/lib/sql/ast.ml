@@ -1,0 +1,98 @@
+(** Abstract syntax for the SQL subset understood by the CDBS prototype.
+
+    The subset covers what the classification step (Sec. 3.1) needs to see:
+    which tables and columns a statement references and which predicates it
+    places on them.  It also carries enough structure for the in-memory
+    executor in [cdbs_storage] to run the statements. *)
+
+type literal =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+  | Null
+
+type binop =
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | Add | Sub | Mul | Div
+  | And | Or
+
+type expr =
+  | Lit of literal
+  | Column of string option * string
+      (** [(qualifier, column)]; the qualifier is a table name or alias *)
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Between of expr * expr * expr  (** [Between (e, lo, hi)] *)
+  | In_list of expr * expr list
+  | Like of expr * string
+  | Call of string * expr list  (** aggregate / scalar function call *)
+  | Star  (** the [*] of [COUNT] or of a select list *)
+
+type order = Asc | Desc
+
+type select_item = {
+  expr : expr;
+  alias : string option;
+}
+
+type table_ref = {
+  table : string;
+  tbl_alias : string option;
+}
+
+type join = {
+  jtable : table_ref;
+  on : expr option;  (** [None] for a cross join from comma syntax *)
+}
+
+type select = {
+  distinct : bool;
+  items : select_item list;
+  from : table_ref;
+  joins : join list;
+  where : expr option;
+  group_by : (string option * string) list;
+  having : expr option;
+  order_by : ((string option * string) * order) list;
+  limit : int option;
+}
+
+type statement =
+  | Select of select
+  | Insert of { target : string; columns : string list; values : expr list }
+  | Update of {
+      target : string;
+      assignments : (string * expr) list;
+      where : expr option;
+    }
+  | Delete of { target : string; where : expr option }
+
+(** [is_update st] is true for statements that modify data; the paper calls
+    these "update requests" and routes them with ROWA. *)
+let is_update = function
+  | Select _ -> false
+  | Insert _ | Update _ | Delete _ -> true
+
+let rec pp_expr ppf = function
+  | Lit (Int i) -> Fmt.int ppf i
+  | Lit (Float f) -> Fmt.float ppf f
+  | Lit (String s) -> Fmt.pf ppf "'%s'" s
+  | Lit (Bool b) -> Fmt.bool ppf b
+  | Lit Null -> Fmt.string ppf "NULL"
+  | Column (None, c) -> Fmt.string ppf c
+  | Column (Some t, c) -> Fmt.pf ppf "%s.%s" t c
+  | Binop (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Not e -> Fmt.pf ppf "(NOT %a)" pp_expr e
+  | Between (e, lo, hi) ->
+      Fmt.pf ppf "(%a BETWEEN %a AND %a)" pp_expr e pp_expr lo pp_expr hi
+  | In_list (e, es) ->
+      Fmt.pf ppf "(%a IN (%a))" pp_expr e Fmt.(list ~sep:comma pp_expr) es
+  | Like (e, pat) -> Fmt.pf ppf "(%a LIKE '%s')" pp_expr e pat
+  | Call (f, args) -> Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:comma pp_expr) args
+  | Star -> Fmt.string ppf "*"
+
+and binop_name = function
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+  | And -> "AND" | Or -> "OR"

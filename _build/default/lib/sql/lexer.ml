@@ -1,0 +1,110 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Keyword of string
+  | Symbol of string
+  | Eof
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "ORDER";
+    "ASC"; "DESC"; "LIMIT"; "JOIN"; "INNER"; "LEFT"; "ON"; "AS"; "AND"; "OR";
+    "NOT"; "BETWEEN"; "IN"; "LIKE"; "INSERT"; "INTO"; "VALUES"; "UPDATE";
+    "SET"; "DELETE"; "NULL"; "TRUE"; "FALSE"; "IS";
+  ]
+
+let is_keyword s = List.mem (String.uppercase_ascii s) keywords
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      let word = String.sub s start (!i - start) in
+      if is_keyword word then emit (Keyword (String.uppercase_ascii word))
+      else emit (Ident word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit s.[!i] do
+        incr i
+      done;
+      if !i < n && s.[!i] = '.' && !i + 1 < n && is_digit s.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit s.[!i] do
+          incr i
+        done;
+        emit (Float_lit (float_of_string (String.sub s start (!i - start))))
+      end
+      else emit (Int_lit (int_of_string (String.sub s start (!i - start))))
+    end
+    else if c = '\'' then begin
+      let buf = Buffer.create 16 in
+      let start = !i in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if s.[!i] = '\'' then
+          if !i + 1 < n && s.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i
+        end
+      done;
+      if not !closed then raise (Lex_error ("unterminated string", start));
+      emit (String_lit (Buffer.contents buf))
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub s !i 2) else None
+      in
+      match two with
+      | Some (("<=" | ">=" | "<>" | "!=") as op) ->
+          emit (Symbol (if op = "!=" then "<>" else op));
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | ',' | '.' | '=' | '<' | '>' | '+' | '-' | '*' | '/'
+          | ';' ->
+              emit (Symbol (String.make 1 c));
+              incr i
+          | _ ->
+              raise
+                (Lex_error (Printf.sprintf "unexpected character %C" c, !i)))
+    end
+  done;
+  List.rev (Eof :: !tokens)
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "ident:%s" s
+  | Int_lit i -> Fmt.pf ppf "int:%d" i
+  | Float_lit f -> Fmt.pf ppf "float:%g" f
+  | String_lit s -> Fmt.pf ppf "str:%s" s
+  | Keyword k -> Fmt.pf ppf "kw:%s" k
+  | Symbol s -> Fmt.pf ppf "sym:%s" s
+  | Eof -> Fmt.string ppf "eof"

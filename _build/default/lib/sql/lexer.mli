@@ -1,0 +1,21 @@
+(** Hand-written lexer for the SQL subset.
+
+    Keywords are case-insensitive; identifiers preserve case.  String
+    literals use single quotes with [''] as the escape for a quote. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Keyword of string  (** upper-cased *)
+  | Symbol of string  (** punctuation and operators, e.g. ["<="], [","] *)
+  | Eof
+
+exception Lex_error of string * int  (** message and byte offset *)
+
+val tokenize : string -> token list
+(** [tokenize s] lexes the full input, ending with [Eof].
+    @raise Lex_error on an unexpected character or unterminated string. *)
+
+val pp_token : token Fmt.t

@@ -1,0 +1,1 @@
+lib/storage/database.ml: Array Hashtbl List Schema String Table

@@ -1,0 +1,1 @@
+lib/storage/datagen.ml: Array Cdbs_util Char Database List Schema String Table Value

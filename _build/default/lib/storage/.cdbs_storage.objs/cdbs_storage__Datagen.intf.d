@@ -1,0 +1,1 @@
+lib/storage/datagen.mli: Cdbs_util Database Table

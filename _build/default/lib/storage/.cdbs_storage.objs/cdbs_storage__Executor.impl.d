@@ -1,0 +1,1 @@
+lib/storage/executor.ml: Array Cdbs_sql Database Hashtbl List Option Printf Result Schema String Table Value

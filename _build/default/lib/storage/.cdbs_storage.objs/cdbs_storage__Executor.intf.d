@@ -1,0 +1,1 @@
+lib/storage/executor.mli: Cdbs_sql Database Result Value

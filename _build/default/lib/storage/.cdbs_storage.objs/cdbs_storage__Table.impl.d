@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Cdbs_util Hashtbl List Option Schema Value

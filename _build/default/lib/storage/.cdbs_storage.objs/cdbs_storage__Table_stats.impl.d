@@ -1,0 +1,1 @@
+lib/storage/table_stats.ml: Array Cdbs_sql Hashtbl List Schema Table Value

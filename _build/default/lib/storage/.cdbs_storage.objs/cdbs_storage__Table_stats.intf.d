@@ -1,0 +1,1 @@
+lib/storage/table_stats.mli: Cdbs_sql Table Value

@@ -1,0 +1,1 @@
+lib/storage/value.ml: Cdbs_sql Fmt Option Stdlib String

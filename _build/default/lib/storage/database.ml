@@ -1,0 +1,54 @@
+type t = {
+  schema : Schema.t;
+  tables : (string, Table.t) Hashtbl.t;
+}
+
+let create_partial (schema : Schema.t) ~tables =
+  let t = { schema; tables = Hashtbl.create 16 } in
+  List.iter
+    (fun name ->
+      match Schema.find_table schema name with
+      | Some tbl_schema ->
+          Hashtbl.replace t.tables name (Table.create tbl_schema)
+      | None -> invalid_arg ("Database.create_partial: unknown table " ^ name))
+    tables;
+  t
+
+let create schema =
+  create_partial schema ~tables:(List.map (fun tb -> tb.Schema.tbl_name) schema)
+
+let schema t = t.schema
+let table t name = Hashtbl.find_opt t.tables name
+
+let table_exn t name =
+  match table t name with
+  | Some tbl -> tbl
+  | None -> invalid_arg ("Database.table_exn: no table " ^ name)
+
+let table_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
+  |> List.sort String.compare
+
+let byte_size t =
+  Hashtbl.fold (fun _ tbl acc -> acc + Table.byte_size tbl) t.tables 0
+
+let insert t name row =
+  match table t name with
+  | None -> Error ("insert: no table " ^ name)
+  | Some tbl -> Table.insert tbl row
+
+let copy_table_into ~src ~dst name =
+  match (table src name, table dst name) with
+  | None, _ -> Error ("copy: source lacks table " ^ name)
+  | _, None -> Error ("copy: destination lacks table " ^ name)
+  | Some s, Some d ->
+      let count = ref 0 in
+      let error = ref None in
+      Table.iter
+        (fun row ->
+          if !error = None then
+            match Table.insert d (Array.copy row) with
+            | Ok () -> incr count
+            | Error e -> error := Some e)
+        s;
+      (match !error with Some e -> Error e | None -> Ok !count)

@@ -1,0 +1,21 @@
+(** Catalog of tables forming one backend's local database. *)
+
+type t
+
+val create : Schema.t -> t
+(** Instantiate empty tables for every table of the schema. *)
+
+val create_partial : Schema.t -> tables:string list -> t
+(** Instantiate only the listed tables — a partially replicated backend. *)
+
+val schema : t -> Schema.t
+val table : t -> string -> Table.t option
+val table_exn : t -> string -> Table.t
+val table_names : t -> string list
+val byte_size : t -> int
+
+val insert : t -> string -> Value.t array -> (unit, string) result
+
+val copy_table_into : src:t -> dst:t -> string -> (int, string) result
+(** Bulk-copy a table's rows from [src] to [dst] (the ETL step of physical
+    allocation); returns the number of rows copied. *)

@@ -1,0 +1,678 @@
+open Cdbs_sql.Ast
+
+type result =
+  | Rows of { columns : string list; rows : Value.t array list }
+  | Affected of int
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* LIKE patterns: % matches any sequence, _ any single character. *)
+let like_match pattern s =
+  let np = String.length pattern and ns = String.length s in
+  let rec go pi si =
+    if pi = np then si = ns
+    else
+      match pattern.[pi] with
+      | '%' ->
+          let rec try_from k = k <= ns && (go (pi + 1) k || try_from (k + 1)) in
+          try_from si
+      | '_' -> si < ns && go (pi + 1) (si + 1)
+      | c -> si < ns && s.[si] = c && go (pi + 1) (si + 1)
+  in
+  go 0 0
+
+let rec eval_expr lookup (e : expr) : (Value.t, string) Result.t =
+  match e with
+  | Lit l -> Ok (Value.of_literal l)
+  | Star -> Error "'*' outside of COUNT"
+  | Column (q, c) -> (
+      match lookup (q, c) with
+      | Some v -> Ok v
+      | None ->
+          Error
+            (Printf.sprintf "unknown column %s%s"
+               (match q with Some t -> t ^ "." | None -> "")
+               c))
+  | Not e ->
+      let* v = eval_expr lookup e in
+      Ok (Value.Bool (not (Value.truthy v)))
+  | Binop (op, a, b) -> eval_binop lookup op a b
+  | Between (e, lo, hi) ->
+      let* v = eval_expr lookup e in
+      let* l = eval_expr lookup lo in
+      let* h = eval_expr lookup hi in
+      Ok (Value.Bool (Value.compare v l >= 0 && Value.compare v h <= 0))
+  | In_list (e, es) ->
+      let* v = eval_expr lookup e in
+      let rec any = function
+        | [] -> Ok (Value.Bool false)
+        | x :: rest ->
+            let* xv = eval_expr lookup x in
+            if Value.equal v xv then Ok (Value.Bool true) else any rest
+      in
+      any es
+  | Like (e, pat) -> (
+      let* v = eval_expr lookup e in
+      match v with
+      | Value.Str s -> Ok (Value.Bool (like_match pat s))
+      | _ -> Ok (Value.Bool false))
+  | Call (name, _) ->
+      Error
+        (Printf.sprintf "function %s outside of aggregation context" name)
+
+and eval_binop lookup op a b =
+  match op with
+  | And ->
+      let* va = eval_expr lookup a in
+      if not (Value.truthy va) then Ok (Value.Bool false)
+      else
+        let* vb = eval_expr lookup b in
+        Ok (Value.Bool (Value.truthy vb))
+  | Or ->
+      let* va = eval_expr lookup a in
+      if Value.truthy va then Ok (Value.Bool true)
+      else
+        let* vb = eval_expr lookup b in
+        Ok (Value.Bool (Value.truthy vb))
+  | _ ->
+      let* va = eval_expr lookup a in
+      let* vb = eval_expr lookup b in
+      Ok
+        (match op with
+        | Eq -> Value.Bool (Value.equal va vb)
+        | Neq -> Value.Bool (not (Value.equal va vb))
+        | Lt -> Value.Bool (Value.compare va vb < 0)
+        | Le -> Value.Bool (Value.compare va vb <= 0)
+        | Gt -> Value.Bool (Value.compare va vb > 0)
+        | Ge -> Value.Bool (Value.compare va vb >= 0)
+        | Add -> Value.add va vb
+        | Sub -> Value.sub va vb
+        | Mul -> Value.mul va vb
+        | Div -> Value.div va vb
+        | And | Or -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Row streams during SELECT processing                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A bound row carries, per joined table instance, the visible names
+   (alias and table name), the column names, and the values. *)
+type segment = {
+  names : string list;
+  cols : string array;
+  values : Value.t array;
+}
+
+type bound_row = segment list
+
+let lookup_in (row : bound_row) (q, c) : Value.t option =
+  let matches seg =
+    match q with
+    | Some qual -> List.mem qual seg.names
+    | None -> true
+  in
+  let rec search = function
+    | [] -> None
+    | seg :: rest ->
+        if matches seg then begin
+          let rec find i =
+            if i >= Array.length seg.cols then search rest
+            else if seg.cols.(i) = c then Some seg.values.(i)
+            else find (i + 1)
+          in
+          find 0
+        end
+        else search rest
+  in
+  search row
+
+let segment_of tref (tbl : Table.t) values =
+  let names =
+    tref.table :: (match tref.tbl_alias with Some a -> [ a ] | None -> [])
+  in
+  {
+    names;
+    cols = Array.of_list (Schema.column_names (Table.schema tbl));
+    values;
+  }
+
+let scan db tref : (bound_row list, string) Result.t =
+  match Database.table db tref.table with
+  | None -> Error ("no table " ^ tref.table)
+  | Some tbl ->
+      let rows = ref [] in
+      Table.iter (fun r -> rows := [ segment_of tref tbl r ] :: !rows) tbl;
+      Ok (List.rev !rows)
+
+(* Top-level [column = literal] conjuncts of a predicate. *)
+let rec equality_conjuncts = function
+  | Binop (And, a, b) -> equality_conjuncts a @ equality_conjuncts b
+  | Binop (Eq, Column (q, c), Lit l) | Binop (Eq, Lit l, Column (q, c)) ->
+      [ (q, c, l) ]
+  | _ -> []
+
+(* Index-assisted access path for single-table selects: if some equality
+   conjunct hits a secondary index, fetch only the matching rows; the full
+   predicate is still applied afterwards. *)
+let scan_with_predicate db tref where : (bound_row list, string) Result.t =
+  match Database.table db tref.table with
+  | None -> Error ("no table " ^ tref.table)
+  | Some tbl -> (
+      let applicable (q, c, _) =
+        (match q with
+        | Some qual -> qual = tref.table || Some qual = tref.tbl_alias
+        | None -> true)
+        && Table.has_index tbl c
+      in
+      match
+        match where with
+        | None -> None
+        | Some w -> List.find_opt applicable (equality_conjuncts w)
+      with
+      | Some (_, column, l) -> (
+          match Table.indexed_lookup tbl ~column (Value.of_literal l) with
+          | Some rows ->
+              Ok (List.map (fun r -> [ segment_of tref tbl r ]) rows)
+          | None -> scan db tref)
+      | None -> scan db tref)
+
+(* Detect an equi-join condition [a.x = b.y] so the join can be hashed. *)
+let equi_join_key on =
+  match on with
+  | Some (Binop (Eq, Column (qa, ca), Column (qb, cb))) ->
+      Some ((qa, ca), (qb, cb))
+  | _ -> None
+
+let filter_rows pred rows =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | row :: rest -> (
+        match eval_expr (lookup_in row) pred with
+        | Error _ as e -> e
+        | Ok v -> go (if Value.truthy v then row :: acc else acc) rest)
+  in
+  go [] rows
+
+let join db (left : bound_row list) (j : join) :
+    (bound_row list, string) Result.t =
+  match Database.table db j.jtable.table with
+  | None -> Error ("no table " ^ j.jtable.table)
+  | Some tbl -> (
+      let right_rows = ref [] in
+      Table.iter
+        (fun r -> right_rows := segment_of j.jtable tbl r :: !right_rows)
+        tbl;
+      let right_rows = List.rev !right_rows in
+      match equi_join_key j.on with
+      | Some (ka, kb) -> (
+          (* Decide which key belongs to the new table. *)
+          let right_has (q, c) =
+            match lookup_in [ List.hd right_rows ] (q, c) with
+            | Some _ -> true
+            | None -> false
+          in
+          match right_rows with
+          | [] -> Ok []
+          | _ ->
+              let right_key, left_key =
+                if right_has ka then (ka, kb) else (kb, ka)
+              in
+              let index : (Value.t, segment list) Hashtbl.t =
+                Hashtbl.create 256
+              in
+              List.iter
+                (fun seg ->
+                  match lookup_in [ seg ] right_key with
+                  | Some v ->
+                      let prev =
+                        Option.value ~default:[] (Hashtbl.find_opt index v)
+                      in
+                      Hashtbl.replace index v (seg :: prev)
+                  | None -> ())
+                right_rows;
+              let out = ref [] in
+              let error = ref None in
+              List.iter
+                (fun lrow ->
+                  if !error = None then
+                    match lookup_in lrow left_key with
+                    | Some v ->
+                        List.iter
+                          (fun seg -> out := (lrow @ [ seg ]) :: !out)
+                          (Option.value ~default:[]
+                             (Hashtbl.find_opt index v))
+                    | None ->
+                        error :=
+                          Some "join key not found on left side of equi-join")
+                left;
+              (match !error with
+              | Some e -> Error e
+              | None -> Ok (List.rev !out)))
+      | None -> (
+          (* Cross product, then filter by the on-condition if present. *)
+          let crossed =
+            List.concat_map
+              (fun lrow -> List.map (fun seg -> lrow @ [ seg ]) right_rows)
+              left
+          in
+          match j.on with
+          | None -> Ok crossed
+          | Some cond -> filter_rows cond crossed))
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let aggregate_functions = [ "count"; "sum"; "avg"; "min"; "max" ]
+
+let rec has_aggregate = function
+  | Call (f, _) when List.mem (String.lowercase_ascii f) aggregate_functions ->
+      true
+  | Call (_, args) -> List.exists has_aggregate args
+  | Binop (_, a, b) -> has_aggregate a || has_aggregate b
+  | Not e -> has_aggregate e
+  | Between (a, b, c) -> List.exists has_aggregate [ a; b; c ]
+  | In_list (e, es) -> List.exists has_aggregate (e :: es)
+  | Like (e, _) -> has_aggregate e
+  | Lit _ | Column _ | Star -> false
+
+(* Evaluate an expression that may contain aggregate calls over a group of
+   rows; non-aggregate subexpressions are evaluated on the first row. *)
+let rec eval_agg group (e : expr) : (Value.t, string) Result.t =
+  match e with
+  | Call (f, args) when List.mem (String.lowercase_ascii f) aggregate_functions
+    -> (
+      let f = String.lowercase_ascii f in
+      match (f, args) with
+      | "count", ([ Star ] | []) ->
+          Ok (Value.Int (List.length group))
+      | _, [ arg ] ->
+          let* values =
+            List.fold_left
+              (fun acc row ->
+                let* acc = acc in
+                let* v = eval_expr (lookup_in row) arg in
+                Ok (v :: acc))
+              (Ok []) group
+          in
+          let numeric =
+            List.filter_map Value.to_float
+              (List.filter (fun v -> v <> Value.Null) values)
+          in
+          let non_null = List.filter (fun v -> v <> Value.Null) values in
+          (match f with
+          | "count" -> Ok (Value.Int (List.length non_null))
+          | "sum" -> Ok (Value.Float (List.fold_left ( +. ) 0. numeric))
+          | "avg" ->
+              if numeric = [] then Ok Value.Null
+              else
+                Ok
+                  (Value.Float
+                     (List.fold_left ( +. ) 0. numeric
+                     /. float_of_int (List.length numeric)))
+          | "min" -> (
+              match non_null with
+              | [] -> Ok Value.Null
+              | v :: rest ->
+                  Ok
+                    (List.fold_left
+                       (fun a b -> if Value.compare b a < 0 then b else a)
+                       v rest))
+          | "max" -> (
+              match non_null with
+              | [] -> Ok Value.Null
+              | v :: rest ->
+                  Ok
+                    (List.fold_left
+                       (fun a b -> if Value.compare b a > 0 then b else a)
+                       v rest))
+          | _ -> Error ("unsupported aggregate " ^ f))
+      | _ -> Error ("bad arguments to aggregate " ^ f))
+  | Binop (op, a, b) ->
+      let* va = eval_agg group a in
+      let* vb = eval_agg group b in
+      Ok
+        (match op with
+        | Add -> Value.add va vb
+        | Sub -> Value.sub va vb
+        | Mul -> Value.mul va vb
+        | Div -> Value.div va vb
+        | Eq -> Value.Bool (Value.equal va vb)
+        | Neq -> Value.Bool (not (Value.equal va vb))
+        | Lt -> Value.Bool (Value.compare va vb < 0)
+        | Le -> Value.Bool (Value.compare va vb <= 0)
+        | Gt -> Value.Bool (Value.compare va vb > 0)
+        | Ge -> Value.Bool (Value.compare va vb >= 0)
+        | And -> Value.Bool (Value.truthy va && Value.truthy vb)
+        | Or -> Value.Bool (Value.truthy va || Value.truthy vb))
+  | e -> (
+      match group with
+      | [] -> Ok Value.Null
+      | row :: _ -> eval_expr (lookup_in row) e)
+
+(* ------------------------------------------------------------------ *)
+(* SELECT                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let item_name i (item : select_item) =
+  match (item.alias, item.expr) with
+  | Some a, _ -> a
+  | None, Column (_, c) -> c
+  | None, Call (f, _) -> String.lowercase_ascii f
+  | None, Star -> "*"
+  | None, _ -> Printf.sprintf "col%d" i
+
+let expand_star db (s : select) : (select_item list, string) Result.t =
+  let expand_one tref =
+    match Database.table db tref.table with
+    | None -> Error ("no table " ^ tref.table)
+    | Some tbl ->
+        Ok
+          (List.map
+             (fun c -> { expr = Column (Some tref.table, c); alias = Some c })
+             (Schema.column_names (Table.schema tbl)))
+  in
+  let rec go acc = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | item :: rest -> (
+        match item.expr with
+        | Star ->
+            let all = s.from :: List.map (fun j -> j.jtable) s.joins in
+            let* expanded =
+              List.fold_left
+                (fun acc tref ->
+                  let* acc = acc in
+                  let* items = expand_one tref in
+                  Ok (acc @ items))
+                (Ok []) all
+            in
+            go ([ expanded ] @ acc) rest
+        | _ -> go ([ [ item ] ] @ acc) rest)
+  in
+  go [] s.items
+
+let execute_select db (s : select) : (result, string) Result.t =
+  let* items = expand_star db s in
+  let* rows =
+    if s.joins = [] then scan_with_predicate db s.from s.where
+    else scan db s.from
+  in
+  let* rows =
+    List.fold_left
+      (fun acc j ->
+        let* acc = acc in
+        join db acc j)
+      (Ok rows) s.joins
+  in
+  let* rows = match s.where with None -> Ok rows | Some w -> filter_rows w rows in
+  let aggregating =
+    s.group_by <> [] || List.exists (fun it -> has_aggregate it.expr) items
+  in
+  let* out_rows =
+    if aggregating then begin
+      (* Hash-group rows by the group-by key. *)
+      let groups : (Value.t list, bound_row list) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let order = ref [] in
+      let error = ref None in
+      List.iter
+        (fun row ->
+          if !error = None then begin
+            let key =
+              List.map
+                (fun col ->
+                  match lookup_in row col with
+                  | Some v -> v
+                  | None ->
+                      error := Some "unknown group-by column";
+                      Value.Null)
+                s.group_by
+            in
+            if not (Hashtbl.mem groups key) then order := key :: !order;
+            let prev = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+            Hashtbl.replace groups key (row :: prev)
+          end)
+        rows;
+      match !error with
+      | Some e -> Error e
+      | None ->
+          let keys =
+            if s.group_by = [] && rows = [] then [ [] ]
+              (* aggregate over empty input still yields one row *)
+            else List.rev !order
+          in
+          let* produced =
+            List.fold_left
+              (fun acc key ->
+                let* acc = acc in
+                let group =
+                  List.rev
+                    (Option.value ~default:[] (Hashtbl.find_opt groups key))
+                in
+                let* keep =
+                  match s.having with
+                  | None -> Ok true
+                  | Some h ->
+                      let* v = eval_agg group h in
+                      Ok (Value.truthy v)
+                in
+                if not keep then Ok acc
+                else
+                  let* values =
+                    List.fold_left
+                      (fun acc item ->
+                        let* acc = acc in
+                        let* v = eval_agg group item.expr in
+                        Ok (v :: acc))
+                      (Ok []) items
+                  in
+                  Ok ((Array.of_list (List.rev values), group) :: acc))
+              (Ok []) keys
+          in
+          Ok (List.rev produced)
+    end
+    else
+      let* produced =
+        List.fold_left
+          (fun acc row ->
+            let* acc = acc in
+            let* values =
+              List.fold_left
+                (fun acc item ->
+                  let* acc = acc in
+                  let* v = eval_expr (lookup_in row) item.expr in
+                  Ok (v :: acc))
+                (Ok []) items
+            in
+            Ok ((Array.of_list (List.rev values), [ row ]) :: acc))
+          (Ok []) rows
+      in
+      Ok (List.rev produced)
+  in
+  (* ORDER BY: sort on the source rows (first row of each group). *)
+  let columns = List.mapi item_name items in
+  let find_output_index (q, c) =
+    let rec go i = function
+      | [] -> None
+      | item :: rest -> (
+          match (item.alias, item.expr) with
+          | Some a, _ when q = None && a = c -> Some i
+          | _, Column (q', c') when c' = c && (q = None || q = q') -> Some i
+          | _ -> go (i + 1) rest)
+    in
+    go 0 items
+  in
+  let* sorted =
+    match s.order_by with
+    | [] -> Ok (List.map fst out_rows)
+    | order_cols ->
+        let keyed =
+          List.map
+            (fun (vals, group) ->
+              let keys =
+                List.map
+                  (fun (col, dir) ->
+                    let v =
+                      match find_output_index col with
+                      | Some i -> Some vals.(i)
+                      | None -> (
+                          match group with
+                          | row :: _ -> lookup_in row col
+                          | [] -> None)
+                    in
+                    (Option.value ~default:Value.Null v, dir))
+                  order_cols
+              in
+              (keys, vals))
+            out_rows
+        in
+        let cmp (ka, _) (kb, _) =
+          let rec go = function
+            | [] -> 0
+            | ((va, dir), (vb, _)) :: rest -> (
+                match Value.compare va vb with
+                | 0 -> go rest
+                | c -> ( match dir with Asc -> c | Desc -> -c))
+          in
+          go (List.combine ka kb)
+        in
+        Ok (List.map snd (List.stable_sort cmp keyed))
+  in
+  let deduped =
+    if s.distinct then
+      let seen = Hashtbl.create 64 in
+      List.filter
+        (fun vals ->
+          let key = Array.to_list vals in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        sorted
+    else sorted
+  in
+  let limited =
+    match s.limit with
+    | None -> deduped
+    | Some n ->
+        let rec take k = function
+          | [] -> []
+          | _ when k = 0 -> []
+          | x :: rest -> x :: take (k - 1) rest
+        in
+        take n deduped
+  in
+  Ok (Rows { columns; rows = limited })
+
+(* ------------------------------------------------------------------ *)
+(* DML                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let const_lookup (_ : string option * string) : Value.t option = None
+
+let execute_insert db target columns values =
+  match Database.table db target with
+  | None -> Error ("no table " ^ target)
+  | Some tbl ->
+      let schema_cols = Schema.column_names (Table.schema tbl) in
+      let cols = if columns = [] then schema_cols else columns in
+      if List.length cols <> List.length values then
+        Error "INSERT: column/value arity mismatch"
+      else
+        let* bindings =
+          List.fold_left2
+            (fun acc col e ->
+              let* acc = acc in
+              let* v = eval_expr const_lookup e in
+              Ok ((col, v) :: acc))
+            (Ok []) cols values
+        in
+        let row =
+          Array.of_list
+            (List.map
+               (fun c ->
+                 Option.value ~default:Value.Null (List.assoc_opt c bindings))
+               schema_cols)
+        in
+        let* () = Table.insert tbl row in
+        Ok (Affected 1)
+
+let row_lookup tbl (row : Value.t array) (q, c) =
+  ignore q;
+  match Table.column_index tbl c with
+  | Some i -> Some row.(i)
+  | None -> None
+
+let predicate_of tbl where row =
+  match where with
+  | None -> Ok true
+  | Some w -> (
+      match eval_expr (row_lookup tbl row) w with
+      | Ok v -> Ok (Value.truthy v)
+      | Error _ as e -> e)
+
+let execute_update db target assignments where =
+  match Database.table db target with
+  | None -> Error ("no table " ^ target)
+  | Some tbl ->
+      (* Pre-validate the predicate and assignments on one probe row to
+         surface errors (updates on empty tables succeed trivially). *)
+      let error = ref None in
+      let apply row =
+        let updated = Array.copy row in
+        List.iter
+          (fun (col, e) ->
+            match Table.column_index tbl col with
+            | None -> error := Some ("UPDATE: unknown column " ^ col)
+            | Some i -> (
+                match eval_expr (row_lookup tbl row) e with
+                | Ok v -> updated.(i) <- v
+                | Error e -> error := Some e))
+          assignments;
+        updated
+      in
+      let count =
+        Table.update_rows tbl
+          (fun row ->
+            match predicate_of tbl where row with
+            | Ok b -> b && !error = None
+            | Error e ->
+                error := Some e;
+                false)
+          apply
+      in
+      (match !error with Some e -> Error e | None -> Ok (Affected count))
+
+let execute_delete db target where =
+  match Database.table db target with
+  | None -> Error ("no table " ^ target)
+  | Some tbl ->
+      let error = ref None in
+      let count =
+        Table.delete_rows tbl (fun row ->
+            match predicate_of tbl where row with
+            | Ok b -> b && !error = None
+            | Error e ->
+                error := Some e;
+                false)
+      in
+      (match !error with Some e -> Error e | None -> Ok (Affected count))
+
+let execute db (st : statement) : (result, string) Result.t =
+  match st with
+  | Select s -> execute_select db s
+  | Insert { target; columns; values } -> execute_insert db target columns values
+  | Update { target; assignments; where } ->
+      execute_update db target assignments where
+  | Delete { target; where } -> execute_delete db target where
+
+let execute_sql db sql =
+  match Cdbs_sql.Parser.parse sql with
+  | exception Cdbs_sql.Parser.Parse_error msg -> Error ("parse error: " ^ msg)
+  | st -> execute db st

@@ -1,0 +1,28 @@
+(** Query executor: runs parsed SQL statements against a {!Database.t}.
+
+    This is the "backend DBMS" of the CDBS architecture — each backend is an
+    independent single-node engine, and a query sent to a backend is executed
+    entirely locally (the paper's processing model, Sec. 2).  The physical
+    plan is deliberately simple (scan, filter, hash equi-join falling back to
+    nested loops, hash aggregation, sort, limit; single-table equality
+    predicates use a secondary hash index when one exists): the
+    reproduction needs correct local execution and plausible relative
+    costs, not a competitive optimizer. *)
+
+type result =
+  | Rows of { columns : string list; rows : Value.t array list }
+  | Affected of int  (** row count touched by INSERT/UPDATE/DELETE *)
+
+val execute : Database.t -> Cdbs_sql.Ast.statement -> (result, string) Result.t
+(** Execute one statement.  Errors are returned, never raised: missing
+    table or column, arity mismatches, unsupported constructs. *)
+
+val execute_sql : Database.t -> string -> (result, string) Result.t
+(** Parse then execute; parse errors are returned as [Error]. *)
+
+val eval_expr :
+  (string option * string -> Value.t option) ->
+  Cdbs_sql.Ast.expr ->
+  (Value.t, string) Result.t
+(** Expression evaluation against a column-lookup function; exposed for
+    unit tests of the evaluator. *)

@@ -1,0 +1,38 @@
+type col_type = T_int | T_float | T_string of int | T_bool
+
+type column = {
+  col_name : string;
+  col_type : col_type;
+}
+
+type table = {
+  tbl_name : string;
+  columns : column list;
+  primary_key : string list;
+}
+
+type t = table list
+
+let table tbl_name ?(primary_key = []) cols =
+  {
+    tbl_name;
+    columns = List.map (fun (col_name, col_type) -> { col_name; col_type }) cols;
+    primary_key;
+  }
+
+let find_table (schema : t) name =
+  List.find_opt (fun tbl -> tbl.tbl_name = name) schema
+
+let column_names tbl = List.map (fun c -> c.col_name) tbl.columns
+
+let column_width = function
+  | T_int -> 8
+  | T_float -> 8
+  | T_string avg -> avg + 4
+  | T_bool -> 1
+
+let row_width tbl =
+  List.fold_left (fun acc c -> acc + column_width c.col_type) 0 tbl.columns
+
+let to_assoc (schema : t) =
+  List.map (fun tbl -> (tbl.tbl_name, column_names tbl)) schema

@@ -1,0 +1,35 @@
+(** Logical schemas: column types, table definitions, size estimation.
+
+    Column byte widths drive the fragment sizes used by the allocation
+    algorithm and the degree-of-replication accounting (paper Eq. 28). *)
+
+type col_type = T_int | T_float | T_string of int  (** avg width *) | T_bool
+
+type column = {
+  col_name : string;
+  col_type : col_type;
+}
+
+type table = {
+  tbl_name : string;
+  columns : column list;
+  primary_key : string list;
+}
+
+type t = table list
+(** A database schema is a list of table definitions. *)
+
+val table : string -> ?primary_key:string list -> (string * col_type) list -> table
+(** Convenience constructor. *)
+
+val find_table : t -> string -> table option
+val column_names : table -> string list
+
+val column_width : col_type -> int
+(** Estimated bytes per value of the type. *)
+
+val row_width : table -> int
+(** Sum of the column widths. *)
+
+val to_assoc : t -> (string * string list) list
+(** The [(table, columns)] view consumed by {!Cdbs_sql.Analyze}. *)

@@ -1,0 +1,149 @@
+module Vec = Cdbs_util.Vec
+
+type secondary = {
+  position : int;  (** column offset in the row arrays *)
+  entries : (Value.t, int list) Hashtbl.t;  (** value -> row indices *)
+}
+
+type t = {
+  schema : Schema.table;
+  rows : Value.t array Vec.t;
+  pk_index : (Value.t list, int) Hashtbl.t option;  (** pk values -> row idx *)
+  pk_positions : int list;
+  secondaries : (string, secondary) Hashtbl.t;
+}
+
+let column_positions schema names =
+  let cols = Schema.column_names schema in
+  List.filter_map
+    (fun name ->
+      let rec find i = function
+        | [] -> None
+        | c :: _ when c = name -> Some i
+        | _ :: rest -> find (i + 1) rest
+      in
+      find 0 cols)
+    names
+
+let create schema =
+  let pk_positions = column_positions schema schema.Schema.primary_key in
+  let pk_index =
+    if pk_positions = [] then None else Some (Hashtbl.create 64)
+  in
+  {
+    schema;
+    rows = Vec.create ();
+    pk_index;
+    pk_positions;
+    secondaries = Hashtbl.create 4;
+  }
+
+let schema t = t.schema
+let row_count t = Vec.length t.rows
+
+let pk_of_row t row = List.map (fun i -> row.(i)) t.pk_positions
+
+let index_row t row i =
+  Hashtbl.iter
+    (fun _ sec ->
+      let v = row.(sec.position) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt sec.entries v) in
+      Hashtbl.replace sec.entries v (i :: prev))
+    t.secondaries
+
+let insert t row =
+  if Array.length row <> List.length t.schema.Schema.columns then
+    Error "insert: arity mismatch"
+  else
+    match t.pk_index with
+    | None ->
+        index_row t row (Vec.length t.rows);
+        Vec.push t.rows row;
+        Ok ()
+    | Some idx ->
+        let key = pk_of_row t row in
+        if Hashtbl.mem idx key then Error "insert: duplicate primary key"
+        else begin
+          Hashtbl.add idx key (Vec.length t.rows);
+          index_row t row (Vec.length t.rows);
+          Vec.push t.rows row;
+          Ok ()
+        end
+
+let iter f t = Vec.iter f t.rows
+let fold f init t = Vec.fold_left f init t.rows
+
+let find_by_pk t key =
+  match t.pk_index with
+  | None -> None
+  | Some idx -> (
+      match Hashtbl.find_opt idx key with
+      | Some i -> Some (Vec.get t.rows i)
+      | None -> None)
+
+let rebuild_index t =
+  (match t.pk_index with
+  | None -> ()
+  | Some idx ->
+      Hashtbl.reset idx;
+      Vec.iteri (fun i row -> Hashtbl.replace idx (pk_of_row t row) i) t.rows);
+  Hashtbl.iter (fun _ sec -> Hashtbl.reset sec.entries) t.secondaries;
+  Vec.iteri (fun i row -> index_row t row i) t.rows
+
+let update_rows t pred f =
+  let changed = ref 0 in
+  Vec.iteri
+    (fun i row ->
+      if pred row then begin
+        Vec.set t.rows i (f row);
+        incr changed
+      end)
+    t.rows;
+  if !changed > 0 then rebuild_index t;
+  !changed
+
+let delete_rows t pred =
+  let before = Vec.length t.rows in
+  Vec.filter_in_place (fun row -> not (pred row)) t.rows;
+  let removed = before - Vec.length t.rows in
+  if removed > 0 then rebuild_index t;
+  removed
+
+let byte_size t =
+  fold
+    (fun acc row ->
+      Array.fold_left (fun a v -> a + Value.byte_size v) acc row)
+    0 t
+
+let column_index t name =
+  let rec find i = function
+    | [] -> None
+    | c :: _ when c.Schema.col_name = name -> Some i
+    | _ :: rest -> find (i + 1) rest
+  in
+  find 0 t.schema.Schema.columns
+
+let create_index t name =
+  match column_index t name with
+  | None -> Error ("create_index: no column " ^ name)
+  | Some position ->
+      let sec = { position; entries = Hashtbl.create 64 } in
+      Hashtbl.replace t.secondaries name sec;
+      Vec.iteri
+        (fun i row ->
+          let v = row.(position) in
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt sec.entries v)
+          in
+          Hashtbl.replace sec.entries v (i :: prev))
+        t.rows;
+      Ok ()
+
+let has_index t name = Hashtbl.mem t.secondaries name
+
+let indexed_lookup t ~column v =
+  match Hashtbl.find_opt t.secondaries column with
+  | None -> None
+  | Some sec ->
+      let idxs = Option.value ~default:[] (Hashtbl.find_opt sec.entries v) in
+      Some (List.rev_map (Vec.get t.rows) idxs)

@@ -1,0 +1,43 @@
+(** In-memory table storage: rows are value arrays in schema column order,
+    with a hash index on the primary key when one is declared. *)
+
+type t
+
+val create : Schema.table -> t
+val schema : t -> Schema.table
+val row_count : t -> int
+
+val insert : t -> Value.t array -> (unit, string) result
+(** Fails on arity mismatch or duplicate primary key. *)
+
+val iter : (Value.t array -> unit) -> t -> unit
+val fold : ('a -> Value.t array -> 'a) -> 'a -> t -> 'a
+
+val find_by_pk : t -> Value.t list -> Value.t array option
+(** Point lookup by primary-key values (in key order); [None] when the
+    table has no primary key or no matching row. *)
+
+val update_rows : t -> (Value.t array -> bool) -> (Value.t array -> Value.t array) -> int
+(** [update_rows t pred f] replaces each row matching [pred] by [f row];
+    returns the number of rows changed.  Primary-key index entries are
+    refreshed. *)
+
+val delete_rows : t -> (Value.t array -> bool) -> int
+(** Delete matching rows; returns the count. *)
+
+val byte_size : t -> int
+(** Total approximate bytes stored. *)
+
+val column_index : t -> string -> int option
+(** Position of a column in the row arrays. *)
+
+val create_index : t -> string -> (unit, string) result
+(** Build (or rebuild) a secondary hash index on the column.  Indexes are
+    maintained by {!insert} and rebuilt by {!update_rows} /
+    {!delete_rows}. *)
+
+val has_index : t -> string -> bool
+
+val indexed_lookup : t -> column:string -> Value.t -> Value.t array list option
+(** Rows whose indexed column equals the value; [None] when the column has
+    no index (callers fall back to a scan). *)

@@ -1,0 +1,148 @@
+open Cdbs_sql.Ast
+
+type column_stats = {
+  distinct : int;
+  min_value : Value.t option;
+  max_value : Value.t option;
+  nulls : int;
+}
+
+type t = {
+  rows : int;
+  bytes : int;
+  columns : (string * column_stats) list;
+}
+
+let collect tbl =
+  let schema = Table.schema tbl in
+  let names = Schema.column_names schema in
+  let n_cols = List.length names in
+  let seen = Array.init n_cols (fun _ -> Hashtbl.create 64) in
+  let mins = Array.make n_cols None in
+  let maxs = Array.make n_cols None in
+  let nulls = Array.make n_cols 0 in
+  let rows = ref 0 in
+  let bytes = ref 0 in
+  Table.iter
+    (fun row ->
+      incr rows;
+      Array.iteri
+        (fun i v ->
+          bytes := !bytes + Value.byte_size v;
+          if v = Value.Null then nulls.(i) <- nulls.(i) + 1
+          else begin
+            Hashtbl.replace seen.(i) v ();
+            (match mins.(i) with
+            | None -> mins.(i) <- Some v
+            | Some m -> if Value.compare v m < 0 then mins.(i) <- Some v);
+            match maxs.(i) with
+            | None -> maxs.(i) <- Some v
+            | Some m -> if Value.compare v m > 0 then maxs.(i) <- Some v
+          end)
+        row)
+    tbl;
+  {
+    rows = !rows;
+    bytes = !bytes;
+    columns =
+      List.mapi
+        (fun i name ->
+          ( name,
+            {
+              distinct = Hashtbl.length seen.(i);
+              min_value = mins.(i);
+              max_value = maxs.(i);
+              nulls = nulls.(i);
+            } ))
+        names;
+  }
+
+let default_eq = 0.05
+let default_range = 0.3
+let default_like = 0.1
+
+let column_of = function
+  | Column (_, c) -> Some c
+  | _ -> None
+
+let stats_of t c = List.assoc_opt c t.columns
+
+(* Fraction of the column's [min, max] span below value v. *)
+let position st v =
+  match (st.min_value, st.max_value) with
+  | Some mn, Some mx -> (
+      match (Value.to_float mn, Value.to_float mx, Value.to_float v) with
+      | Some mn, Some mx, Some v when mx > mn ->
+          Some (max 0. (min 1. ((v -. mn) /. (mx -. mn))))
+      | _ -> None)
+  | _ -> None
+
+let rec selectivity t (e : expr) : float =
+  match e with
+  | Binop (And, a, b) -> selectivity t a *. selectivity t b
+  | Binop (Or, a, b) -> min 1. (selectivity t a +. selectivity t b)
+  | Not a -> max 0. (1. -. selectivity t a)
+  | Binop (Eq, a, b) -> (
+      match (column_of a, column_of b) with
+      | Some c, None | None, Some c -> (
+          match stats_of t c with
+          | Some st when st.distinct > 0 -> 1. /. float_of_int st.distinct
+          | _ -> default_eq)
+      | Some _, Some _ ->
+          (* join-style equality: key/foreign-key assumption *)
+          default_eq
+      | None, None -> default_eq)
+  | Binop (Neq, a, b) -> max 0. (1. -. selectivity t (Binop (Eq, a, b)))
+  | Binop (((Lt | Le | Gt | Ge) as op), a, b) -> (
+      let estimate col v ~below =
+        match stats_of t col with
+        | None -> default_range
+        | Some st -> (
+            match position st v with
+            | None -> default_range
+            | Some p -> if below then p else 1. -. p)
+      in
+      match (column_of a, b) with
+      | Some c, Lit l ->
+          estimate c (Value.of_literal l) ~below:(op = Lt || op = Le)
+      | _ -> (
+          match (a, column_of b) with
+          | Lit l, Some c ->
+              (* literal op column flips direction *)
+              estimate c (Value.of_literal l) ~below:(op = Gt || op = Ge)
+          | _ -> default_range))
+  | Between (a, Lit lo, Lit hi) -> (
+      match column_of a with
+      | Some c -> (
+          match stats_of t c with
+          | None -> default_range
+          | Some st -> (
+              match
+                ( position st (Value.of_literal lo),
+                  position st (Value.of_literal hi) )
+              with
+              | Some plo, Some phi -> max 0. (phi -. plo)
+              | _ -> default_range))
+      | None -> default_range)
+  | Between _ -> default_range
+  | In_list (a, items) ->
+      let eq_sel =
+        selectivity t (Binop (Eq, a, Lit (Int 0)))
+      in
+      min 1. (eq_sel *. float_of_int (List.length items))
+  | Like _ -> default_like
+  | Lit (Bool b) -> if b then 1. else 0.
+  | Lit _ | Column _ | Call _ | Star -> 1.
+  | Binop ((Add | Sub | Mul | Div), _, _) -> 1.
+
+let estimate_rows t = function
+  | None -> float_of_int t.rows
+  | Some e -> float_of_int t.rows *. selectivity t e
+
+let estimate_scan_bytes t pred =
+  if t.rows = 0 then 0.
+  else
+    let per_row = float_of_int t.bytes /. float_of_int t.rows in
+    (* A scan reads everything; its output volume scales with
+       selectivity.  Cost = read + produce. *)
+    float_of_int t.bytes +. (estimate_rows t pred *. per_row)

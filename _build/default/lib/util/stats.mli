@@ -1,0 +1,23 @@
+(** Small descriptive-statistics helpers used by the simulator and the
+    benchmark harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val stdev : float list -> float
+(** Population standard deviation; 0 for lists shorter than 2. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100], nearest-rank on the sorted list.
+    @raise Invalid_argument on an empty list. *)
+
+val relative_deviation : float list -> float
+(** Mean absolute deviation from the mean, relative to the mean — the
+    "deviation from balance" measure plotted in Fig. 4(j). 0 when the mean
+    is 0. *)
+
+val histogram : bins:int -> lo:float -> hi:float -> float list -> int array
+(** Fixed-width histogram; values outside [lo, hi] clamp to the end bins. *)

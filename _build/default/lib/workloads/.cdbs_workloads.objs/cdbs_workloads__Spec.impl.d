@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Array Cdbs_cluster Cdbs_core Cdbs_storage Cdbs_util List Option Stdlib

@@ -1,0 +1,1 @@
+lib/workloads/timeseries.ml: Cdbs_core Cdbs_storage Cdbs_util List

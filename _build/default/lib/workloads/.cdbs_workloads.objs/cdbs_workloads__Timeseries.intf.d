@@ -1,0 +1,1 @@
+lib/workloads/timeseries.mli: Cdbs_core Cdbs_storage Cdbs_util

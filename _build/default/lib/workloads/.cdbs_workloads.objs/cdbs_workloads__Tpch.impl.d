@@ -1,0 +1,1 @@
+lib/workloads/tpch.ml: Cdbs_core Cdbs_storage List Spec

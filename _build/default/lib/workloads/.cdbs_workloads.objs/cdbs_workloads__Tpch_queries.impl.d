@@ -1,0 +1,1 @@
+lib/workloads/tpch_queries.ml: Array Cdbs_core Cdbs_util List Option Spec Tpch

@@ -1,0 +1,1 @@
+lib/workloads/tpch_queries.mli: Cdbs_core Cdbs_util

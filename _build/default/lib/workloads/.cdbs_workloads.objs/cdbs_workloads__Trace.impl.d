@@ -1,0 +1,1 @@
+lib/workloads/trace.ml: Cdbs_cluster Cdbs_core Cdbs_storage Cdbs_util Float List Option Spec Stdlib

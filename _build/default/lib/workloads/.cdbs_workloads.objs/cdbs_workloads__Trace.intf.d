@@ -1,0 +1,1 @@
+lib/workloads/trace.mli: Cdbs_cluster Cdbs_core Cdbs_storage Cdbs_util Spec

@@ -1,0 +1,237 @@
+module Schema = Cdbs_storage.Schema
+module Classification = Cdbs_core.Classification
+module Fragment = Cdbs_core.Fragment
+module Allocation = Cdbs_core.Allocation
+module Workload = Cdbs_core.Workload
+module Query_class = Cdbs_core.Query_class
+
+let s w = Schema.T_string w
+let i = Schema.T_int
+let f = Schema.T_float
+
+let schema : Schema.t =
+  [
+    Schema.table "region" ~primary_key:[ "r_regionkey" ]
+      [ ("r_regionkey", i); ("r_name", s 25); ("r_comment", s 152) ];
+    Schema.table "nation" ~primary_key:[ "n_nationkey" ]
+      [
+        ("n_nationkey", i); ("n_name", s 25); ("n_regionkey", i);
+        ("n_comment", s 152);
+      ];
+    Schema.table "supplier" ~primary_key:[ "s_suppkey" ]
+      [
+        ("s_suppkey", i); ("s_name", s 25); ("s_address", s 40);
+        ("s_nationkey", i); ("s_phone", s 15); ("s_acctbal", f);
+        ("s_comment", s 101);
+      ];
+    Schema.table "customer" ~primary_key:[ "c_custkey" ]
+      [
+        ("c_custkey", i); ("c_name", s 25); ("c_address", s 40);
+        ("c_nationkey", i); ("c_phone", s 15); ("c_acctbal", f);
+        ("c_mktsegment", s 10); ("c_comment", s 117);
+      ];
+    Schema.table "part" ~primary_key:[ "p_partkey" ]
+      [
+        ("p_partkey", i); ("p_name", s 55); ("p_mfgr", s 25);
+        ("p_brand", s 10); ("p_type", s 25); ("p_size", i);
+        ("p_container", s 10); ("p_retailprice", f); ("p_comment", s 23);
+      ];
+    Schema.table "partsupp" ~primary_key:[ "ps_partkey"; "ps_suppkey" ]
+      [
+        ("ps_partkey", i); ("ps_suppkey", i); ("ps_availqty", i);
+        ("ps_supplycost", f); ("ps_comment", s 199);
+      ];
+    Schema.table "orders" ~primary_key:[ "o_orderkey" ]
+      [
+        ("o_orderkey", i); ("o_custkey", i); ("o_orderstatus", s 1);
+        ("o_totalprice", f); ("o_orderdate", s 10); ("o_orderpriority", s 15);
+        ("o_clerk", s 15); ("o_shippriority", i); ("o_comment", s 79);
+      ];
+    Schema.table "lineitem" ~primary_key:[ "l_orderkey"; "l_linenumber" ]
+      [
+        ("l_orderkey", i); ("l_partkey", i); ("l_suppkey", i);
+        ("l_linenumber", i); ("l_quantity", f); ("l_extendedprice", f);
+        ("l_discount", f); ("l_tax", f); ("l_returnflag", s 1);
+        ("l_linestatus", s 1); ("l_shipdate", s 10); ("l_commitdate", s 10);
+        ("l_receiptdate", s 10); ("l_shipinstruct", s 25); ("l_shipmode", s 10);
+        ("l_comment", s 44);
+      ];
+  ]
+
+let row_counts ~sf =
+  let scale base = int_of_float (float_of_int base *. sf) in
+  [
+    ("region", 5);
+    ("nation", 25);
+    ("supplier", scale 10_000);
+    ("customer", scale 150_000);
+    ("part", scale 200_000);
+    ("partsupp", scale 800_000);
+    ("orders", scale 1_500_000);
+    ("lineitem", scale 6_000_000);
+  ]
+
+let database_mb ~sf =
+  let size_of = Classification.default_sizes ~schema ~rows:(row_counts ~sf) in
+  List.fold_left
+    (fun acc tbl -> acc +. size_of (Fragment.Table tbl.Schema.tbl_name))
+    0. schema
+
+(* Footprints of the 19 evaluated queries (Q17, Q20, Q21 omitted) and their
+   relative costs, modeling the measured execution-time weights of the
+   paper's journal. *)
+let query_defs :
+    (string * float * (string * string list) list) list =
+  [
+    ( "Q1", 9.0,
+      [ ("lineitem",
+         [ "l_returnflag"; "l_linestatus"; "l_quantity"; "l_extendedprice";
+           "l_discount"; "l_tax"; "l_shipdate" ]) ] );
+    ( "Q2", 2.0,
+      [
+        ("part", [ "p_partkey"; "p_mfgr"; "p_size"; "p_type" ]);
+        ("supplier",
+         [ "s_suppkey"; "s_name"; "s_address"; "s_nationkey"; "s_phone";
+           "s_acctbal"; "s_comment" ]);
+        ("partsupp", [ "ps_partkey"; "ps_suppkey"; "ps_supplycost" ]);
+        ("nation", [ "n_nationkey"; "n_name"; "n_regionkey" ]);
+        ("region", [ "r_regionkey"; "r_name" ]);
+      ] );
+    ( "Q3", 6.0,
+      [
+        ("customer", [ "c_mktsegment"; "c_custkey" ]);
+        ("orders", [ "o_orderkey"; "o_custkey"; "o_orderdate"; "o_shippriority" ]);
+        ("lineitem", [ "l_orderkey"; "l_extendedprice"; "l_discount"; "l_shipdate" ]);
+      ] );
+    ( "Q4", 5.0,
+      [
+        ("orders", [ "o_orderkey"; "o_orderdate"; "o_orderpriority" ]);
+        ("lineitem", [ "l_orderkey"; "l_commitdate"; "l_receiptdate" ]);
+      ] );
+    ( "Q5", 6.0,
+      [
+        ("customer", [ "c_custkey"; "c_nationkey" ]);
+        ("orders", [ "o_orderkey"; "o_custkey"; "o_orderdate" ]);
+        ("lineitem", [ "l_orderkey"; "l_suppkey"; "l_extendedprice"; "l_discount" ]);
+        ("supplier", [ "s_suppkey"; "s_nationkey" ]);
+        ("nation", [ "n_nationkey"; "n_name"; "n_regionkey" ]);
+        ("region", [ "r_regionkey"; "r_name" ]);
+      ] );
+    ( "Q6", 4.0,
+      [ ("lineitem", [ "l_shipdate"; "l_quantity"; "l_discount"; "l_extendedprice" ]) ] );
+    ( "Q7", 6.0,
+      [
+        ("supplier", [ "s_suppkey"; "s_nationkey" ]);
+        ("lineitem",
+         [ "l_suppkey"; "l_orderkey"; "l_shipdate"; "l_extendedprice"; "l_discount" ]);
+        ("orders", [ "o_orderkey"; "o_custkey" ]);
+        ("customer", [ "c_custkey"; "c_nationkey" ]);
+        ("nation", [ "n_nationkey"; "n_name" ]);
+      ] );
+    ( "Q8", 5.0,
+      [
+        ("part", [ "p_partkey"; "p_type" ]);
+        ("supplier", [ "s_suppkey"; "s_nationkey" ]);
+        ("lineitem",
+         [ "l_partkey"; "l_suppkey"; "l_orderkey"; "l_extendedprice"; "l_discount" ]);
+        ("orders", [ "o_orderkey"; "o_custkey"; "o_orderdate" ]);
+        ("customer", [ "c_custkey"; "c_nationkey" ]);
+        ("nation", [ "n_nationkey"; "n_regionkey"; "n_name" ]);
+        ("region", [ "r_regionkey"; "r_name" ]);
+      ] );
+    ( "Q9", 12.0,
+      [
+        ("part", [ "p_partkey"; "p_name" ]);
+        ("supplier", [ "s_suppkey"; "s_nationkey" ]);
+        ("lineitem",
+         [ "l_partkey"; "l_suppkey"; "l_orderkey"; "l_quantity";
+           "l_extendedprice"; "l_discount" ]);
+        ("partsupp", [ "ps_partkey"; "ps_suppkey"; "ps_supplycost" ]);
+        ("orders", [ "o_orderkey"; "o_orderdate" ]);
+        ("nation", [ "n_nationkey"; "n_name" ]);
+      ] );
+    ( "Q10", 6.0,
+      [
+        ("customer",
+         [ "c_custkey"; "c_name"; "c_acctbal"; "c_address"; "c_phone";
+           "c_comment"; "c_nationkey" ]);
+        ("orders", [ "o_orderkey"; "o_custkey"; "o_orderdate" ]);
+        ("lineitem", [ "l_orderkey"; "l_returnflag"; "l_extendedprice"; "l_discount" ]);
+        ("nation", [ "n_nationkey"; "n_name" ]);
+      ] );
+    ( "Q11", 2.0,
+      [
+        ("partsupp", [ "ps_partkey"; "ps_suppkey"; "ps_availqty"; "ps_supplycost" ]);
+        ("supplier", [ "s_suppkey"; "s_nationkey" ]);
+        ("nation", [ "n_nationkey"; "n_name" ]);
+      ] );
+    ( "Q12", 5.0,
+      [
+        ("orders", [ "o_orderkey"; "o_orderpriority" ]);
+        ("lineitem",
+         [ "l_orderkey"; "l_shipmode"; "l_commitdate"; "l_receiptdate"; "l_shipdate" ]);
+      ] );
+    ( "Q13", 7.0,
+      [
+        ("customer", [ "c_custkey" ]);
+        ("orders", [ "o_orderkey"; "o_custkey"; "o_comment" ]);
+      ] );
+    ( "Q14", 4.0,
+      [
+        ("lineitem", [ "l_partkey"; "l_shipdate"; "l_extendedprice"; "l_discount" ]);
+        ("part", [ "p_partkey"; "p_type" ]);
+      ] );
+    ( "Q15", 5.0,
+      [
+        ("lineitem", [ "l_suppkey"; "l_shipdate"; "l_extendedprice"; "l_discount" ]);
+        ("supplier", [ "s_suppkey"; "s_name"; "s_address"; "s_phone" ]);
+      ] );
+    ( "Q16", 3.0,
+      [
+        ("partsupp", [ "ps_partkey"; "ps_suppkey" ]);
+        ("part", [ "p_partkey"; "p_brand"; "p_type"; "p_size" ]);
+        ("supplier", [ "s_suppkey"; "s_comment" ]);
+      ] );
+    ( "Q18", 10.0,
+      [
+        ("customer", [ "c_custkey"; "c_name" ]);
+        ("orders", [ "o_orderkey"; "o_custkey"; "o_orderdate"; "o_totalprice" ]);
+        ("lineitem", [ "l_orderkey"; "l_quantity" ]);
+      ] );
+    ( "Q19", 4.0,
+      [
+        ("lineitem",
+         [ "l_partkey"; "l_quantity"; "l_extendedprice"; "l_discount";
+           "l_shipmode"; "l_shipinstruct" ]);
+        ("part", [ "p_partkey"; "p_brand"; "p_container"; "p_size" ]);
+      ] );
+    ( "Q22", 3.0,
+      [
+        ("customer", [ "c_custkey"; "c_phone"; "c_acctbal" ]);
+        ("orders", [ "o_custkey" ]);
+      ] );
+  ]
+
+let specs ~sf =
+  let size_of = Classification.default_sizes ~schema ~rows:(row_counts ~sf) in
+  let footprint_mb footprint =
+    List.fold_left
+      (fun acc (table, cols) ->
+        List.fold_left
+          (fun acc column ->
+            acc +. size_of (Fragment.Column { table; column }))
+          acc cols)
+      0. footprint
+  in
+  List.map
+    (fun (id, cost, footprint) ->
+      Spec.read id footprint ~weight:cost ~request_mb:(footprint_mb footprint))
+    query_defs
+
+let workload ~granularity ~sf =
+  Spec.to_workload ~schema ~rows:(row_counts ~sf) ~granularity (specs ~sf)
+
+let requests ~rng ~sf ~n = Spec.requests ~rng ~n (specs ~sf)
+
+let random_allocation ~rng workload backend_list =
+  Cdbs_core.Baselines.random_placement ~rng workload backend_list

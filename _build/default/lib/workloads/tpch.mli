@@ -1,0 +1,38 @@
+(** TPC-H-style read-only decision-support workload (paper Sec. 4.1).
+
+    The 8-relation TPC-H schema with size-accurate column widths and the 19
+    query classes the paper evaluates (queries 17, 20 and 21 are omitted,
+    as in the paper, because the backends could not process them in
+    reasonable time).  Class weights model the relative execution costs
+    that the paper measured from the query history; footprints list the
+    exact columns each query touches, which is what makes column-granular
+    allocation so much cheaper than table-granular on this schema — nearly
+    every query references the two fact tables that hold over 80 % of the
+    data. *)
+
+val schema : Cdbs_storage.Schema.t
+
+val row_counts : sf:float -> (string * int) list
+(** Cardinalities at the given scale factor (SF1 = the paper's 1 GB). *)
+
+val database_mb : sf:float -> float
+(** Total database size under the schema's column widths. *)
+
+val specs : sf:float -> Spec.class_spec list
+(** The 19 query-class specifications; weights normalized downstream. *)
+
+val workload :
+  granularity:[ `Table | `Column ] -> sf:float -> Cdbs_core.Workload.t
+
+val requests :
+  rng:Cdbs_util.Rng.t -> sf:float -> n:int -> Cdbs_cluster.Request.t list
+
+val random_allocation :
+  rng:Cdbs_util.Rng.t ->
+  Cdbs_core.Workload.t ->
+  Cdbs_core.Backend.t list ->
+  Cdbs_core.Allocation.t
+(** The paper's "random allocation" baseline: every query class is placed
+    (whole) on a uniformly random backend; updates follow by closure.  Load
+    is whatever falls out — the baseline that levels off at speedup ≈ 2.5
+    in Fig. 4(a). *)

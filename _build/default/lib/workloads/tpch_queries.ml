@@ -1,0 +1,152 @@
+(* SQL adapted to the supported subset: EXISTS/IN subqueries are unrolled
+   into joins, views inlined, and multi-instance self-joins collapsed, while
+   keeping each statement's table/column footprint identical to the class
+   definitions in [Tpch.query_defs]. *)
+
+let all =
+  [
+    ( "Q1",
+      "SELECT l_returnflag, l_linestatus, sum(l_quantity), \
+       sum(l_extendedprice), avg(l_discount), sum(l_tax) FROM lineitem \
+       WHERE l_shipdate <= '1998-09-02' GROUP BY l_returnflag, l_linestatus \
+       ORDER BY l_returnflag, l_linestatus" );
+    ( "Q2",
+      "SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, \
+       s_phone, s_comment FROM part JOIN partsupp ON p_partkey = ps_partkey \
+       JOIN supplier ON s_suppkey = ps_suppkey JOIN nation ON s_nationkey = \
+       n_nationkey JOIN region ON n_regionkey = r_regionkey WHERE p_size = \
+       15 AND p_type LIKE '%BRASS' AND r_name = 'EUROPE' AND ps_supplycost \
+       < 500 ORDER BY s_acctbal DESC, n_name, s_name, p_partkey LIMIT 100" );
+    ( "Q3",
+      "SELECT o_orderkey, sum(l_extendedprice * l_discount) AS revenue, \
+       o_orderdate, o_shippriority FROM customer JOIN orders ON c_custkey = \
+       o_custkey JOIN lineitem ON l_orderkey = o_orderkey WHERE \
+       c_mktsegment = 'BUILDING' AND o_orderdate < '1995-03-15' AND \
+       l_shipdate > '1995-03-15' GROUP BY o_orderkey, o_orderdate, \
+       o_shippriority ORDER BY revenue DESC LIMIT 10" );
+    ( "Q4",
+      "SELECT o_orderpriority, count(*) AS order_count FROM orders JOIN \
+       lineitem ON l_orderkey = o_orderkey WHERE o_orderdate >= \
+       '1993-07-01' AND o_orderdate < '1993-10-01' AND l_commitdate < \
+       l_receiptdate GROUP BY o_orderpriority ORDER BY o_orderpriority" );
+    ( "Q5",
+      "SELECT n_name, sum(l_extendedprice * l_discount) AS revenue FROM \
+       customer JOIN orders ON c_custkey = o_custkey JOIN lineitem ON \
+       l_orderkey = o_orderkey JOIN supplier ON l_suppkey = s_suppkey JOIN \
+       nation ON c_nationkey = n_nationkey JOIN region ON n_regionkey = \
+       r_regionkey WHERE r_name = 'ASIA' AND o_orderdate >= '1994-01-01' \
+       AND s_nationkey = n_nationkey GROUP BY n_name ORDER BY revenue DESC" );
+    ( "Q6",
+      "SELECT sum(l_extendedprice * l_discount) AS revenue FROM lineitem \
+       WHERE l_shipdate >= '1994-01-01' AND l_discount BETWEEN 0.05 AND \
+       0.07 AND l_quantity < 24" );
+    ( "Q7",
+      "SELECT n_name, sum(l_extendedprice * l_discount) AS revenue FROM \
+       supplier JOIN lineitem ON s_suppkey = l_suppkey JOIN orders ON \
+       o_orderkey = l_orderkey JOIN customer ON c_custkey = o_custkey JOIN \
+       nation ON s_nationkey = n_nationkey WHERE l_shipdate BETWEEN \
+       '1995-01-01' AND '1996-12-31' AND c_nationkey = n_nationkey GROUP BY \
+       n_name ORDER BY n_name" );
+    ( "Q8",
+      "SELECT n_name, sum(l_extendedprice * l_discount) AS volume FROM part \
+       JOIN lineitem ON p_partkey = l_partkey JOIN supplier ON s_suppkey = \
+       l_suppkey JOIN orders ON o_orderkey = l_orderkey JOIN customer ON \
+       c_custkey = o_custkey JOIN nation ON s_nationkey = n_nationkey JOIN \
+       region ON n_regionkey = r_regionkey WHERE r_name = 'AMERICA' AND \
+       p_type = 'ECONOMY ANODIZED STEEL' AND o_orderdate >= '1995-01-01' \
+       AND c_nationkey = n_nationkey GROUP BY n_name" );
+    ( "Q9",
+      "SELECT n_name, o_orderdate, sum(l_extendedprice * l_discount - \
+       ps_supplycost * l_quantity) AS profit FROM part JOIN lineitem ON \
+       p_partkey = l_partkey JOIN partsupp ON ps_partkey = l_partkey JOIN \
+       supplier ON s_suppkey = l_suppkey JOIN orders ON o_orderkey = \
+       l_orderkey JOIN nation ON s_nationkey = n_nationkey WHERE p_name \
+       LIKE '%green%' AND ps_suppkey = l_suppkey GROUP BY n_name, \
+       o_orderdate" );
+    ( "Q10",
+      "SELECT c_custkey, c_name, sum(l_extendedprice * l_discount) AS \
+       revenue, c_acctbal, n_name, c_address, c_phone, c_comment FROM \
+       customer JOIN orders ON c_custkey = o_custkey JOIN lineitem ON \
+       l_orderkey = o_orderkey JOIN nation ON c_nationkey = n_nationkey \
+       WHERE o_orderdate >= '1993-10-01' AND l_returnflag = 'R' GROUP BY \
+       c_custkey, c_name, c_acctbal, c_address, c_phone, c_comment, n_name \
+       ORDER BY revenue DESC LIMIT 20" );
+    ( "Q11",
+      "SELECT ps_partkey, sum(ps_supplycost * ps_availqty) AS total_value \
+       FROM partsupp JOIN supplier ON ps_suppkey = s_suppkey JOIN nation ON \
+       s_nationkey = n_nationkey WHERE n_name = 'GERMANY' GROUP BY \
+       ps_partkey ORDER BY total_value DESC" );
+    ( "Q12",
+      "SELECT l_shipmode, count(*) AS line_count FROM orders JOIN lineitem \
+       ON o_orderkey = l_orderkey WHERE l_shipmode IN ('MAIL', 'SHIP') AND \
+       l_commitdate < l_receiptdate AND l_shipdate < l_commitdate AND \
+       o_orderpriority <> '1-URGENT' GROUP BY l_shipmode ORDER BY \
+       l_shipmode" );
+    ( "Q13",
+      "SELECT c_custkey, count(o_orderkey) AS c_count FROM customer JOIN \
+       orders ON c_custkey = o_custkey WHERE NOT o_comment LIKE \
+       '%special%requests%' GROUP BY c_custkey ORDER BY c_count DESC" );
+    ( "Q14",
+      "SELECT sum(l_extendedprice * l_discount) AS promo_revenue, p_type \
+       FROM lineitem JOIN part ON l_partkey = p_partkey WHERE l_shipdate >= \
+       '1995-09-01' GROUP BY p_type" );
+    ( "Q15",
+      "SELECT s_suppkey, s_name, s_address, s_phone, sum(l_extendedprice * \
+       l_discount) AS total_revenue FROM supplier JOIN lineitem ON \
+       s_suppkey = l_suppkey WHERE l_shipdate >= '1996-01-01' GROUP BY \
+       s_suppkey, s_name, s_address, s_phone ORDER BY total_revenue DESC \
+       LIMIT 1" );
+    ( "Q16",
+      "SELECT p_brand, p_type, p_size, count(ps_suppkey) AS supplier_cnt \
+       FROM partsupp JOIN part ON p_partkey = ps_partkey JOIN supplier ON \
+       s_suppkey = ps_suppkey WHERE p_brand <> 'Brand#45' AND NOT s_comment \
+       LIKE '%Customer%Complaints%' GROUP BY p_brand, p_type, p_size ORDER \
+       BY supplier_cnt DESC" );
+    ( "Q18",
+      "SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, \
+       sum(l_quantity) FROM customer JOIN orders ON c_custkey = o_custkey \
+       JOIN lineitem ON o_orderkey = l_orderkey GROUP BY c_name, c_custkey, \
+       o_orderkey, o_orderdate, o_totalprice ORDER BY o_totalprice DESC, \
+       o_orderdate LIMIT 100" );
+    ( "Q19",
+      "SELECT sum(l_extendedprice * l_discount) AS revenue FROM lineitem \
+       JOIN part ON p_partkey = l_partkey WHERE p_brand = 'Brand#12' AND \
+       p_container IN ('SM CASE', 'SM BOX') AND l_quantity BETWEEN 1 AND 11 \
+       AND p_size BETWEEN 1 AND 5 AND l_shipmode IN ('AIR', 'AIR REG') AND \
+       l_shipinstruct = 'DELIVER IN PERSON'" );
+    ( "Q22",
+      "SELECT c_custkey, c_phone, c_acctbal FROM customer JOIN orders ON \
+       c_custkey = o_custkey WHERE c_acctbal > 0 ORDER BY c_custkey LIMIT \
+       100" );
+  ]
+
+let sql id = List.assoc_opt id all
+
+let journal ~rng ~n ~sf =
+  let journal = Cdbs_core.Journal.create () in
+  let specs = Tpch.specs ~sf in
+  let counts = Spec.class_counts ~n specs in
+  let entries =
+    List.concat_map
+      (fun (spec : Spec.class_spec) ->
+        match sql spec.Spec.id with
+        | None -> []
+        | Some text ->
+            let count =
+              Option.value ~default:0 (List.assoc_opt spec.Spec.id counts)
+            in
+            if count = 0 then []
+            else
+              (* Spread the class's total cost over its executions so the
+                 classified weights reproduce the spec weights. *)
+              let cost = spec.Spec.weight /. float_of_int count in
+              List.init count (fun _ -> (text, cost)))
+      specs
+  in
+  let arr = Array.of_list entries in
+  Cdbs_util.Rng.shuffle rng arr;
+  Array.iteri
+    (fun i (sql, cost) ->
+      Cdbs_core.Journal.record_at journal ~at:(float_of_int i) ~sql ~cost)
+    arr;
+  journal

@@ -1,0 +1,1 @@
+test/gen.ml: Array Backend Cdbs_core Char Fmt Fragment List Printf QCheck Query_class String Workload

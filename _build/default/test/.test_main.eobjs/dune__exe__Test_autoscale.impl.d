@@ -1,0 +1,1 @@
+test/test_autoscale.ml: Alcotest Cdbs_autoscale Cdbs_util List

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Allocation Backend Baselines Cdbs_cluster Cdbs_core Cdbs_storage Fragment Greedy Journal List Query_class String Workload

@@ -1,0 +1,1 @@
+test/test_core_model.ml: Alcotest Cdbs_core Cdbs_storage Classification Filename Fragment Gen Journal List Option QCheck QCheck_alcotest Query_class Sys Workload

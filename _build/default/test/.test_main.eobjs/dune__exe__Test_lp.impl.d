@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Allocation Array Backend Cdbs_core Cdbs_lp Cdbs_util Fragment List Optimal Query_class String Workload

@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Allocation Backend Cdbs_core Fragment Greedy Printf Query_class Speedup String Workload

@@ -1,0 +1,1 @@
+test/test_physical.ml: Alcotest Allocation Array Backend Baselines Cdbs_core Cdbs_util Fragment Gen Greedy List Physical QCheck QCheck_alcotest Query_class Workload

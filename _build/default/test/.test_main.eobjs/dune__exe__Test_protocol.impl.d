@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Backend Baselines Cdbs_cluster Cdbs_core Fragment List Query_class Workload

@@ -1,0 +1,1 @@
+test/test_segmented.ml: Alcotest Allocation Backend Balance Cdbs_core Cdbs_storage Cdbs_util Classification Fragment Greedy Journal List Memetic Optimal Query_class Segmented Workload

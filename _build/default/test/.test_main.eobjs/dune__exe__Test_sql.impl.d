@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Analyze Ast Cdbs_sql Fmt Lexer List Parser QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stats_index.ml: Alcotest Array Cdbs_sql Cdbs_storage Database Executor List Printf QCheck QCheck_alcotest Schema Table Table_stats Value

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Cdbs_storage Cdbs_util Database Datagen Executor List QCheck QCheck_alcotest Schema Table Value

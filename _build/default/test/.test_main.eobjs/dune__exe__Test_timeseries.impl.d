@@ -1,0 +1,1 @@
+test/test_timeseries.ml: Alcotest Allocation Backend Cdbs_core Cdbs_util Cdbs_workloads Fragment List Memetic Query_class Replication Speedup Workload

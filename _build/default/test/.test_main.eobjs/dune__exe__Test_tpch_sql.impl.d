@@ -1,0 +1,1 @@
+test/test_tpch_sql.ml: Alcotest Backend Cdbs_core Cdbs_sql Cdbs_storage Cdbs_util Cdbs_workloads Classification Fragment Greedy List Query_class Replication Workload

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cdbs_cluster Cdbs_core Cdbs_storage Cdbs_util Cdbs_workloads Classification Fragment List Option Query_class String Workload

@@ -1,0 +1,56 @@
+(* Shared random-workload generators for property-based tests. *)
+
+open Cdbs_core
+
+let fragment_pool =
+  Array.init 8 (fun i ->
+      Fragment.table (String.make 1 (Char.chr (Char.code 'A' + i)))
+        ~size:(1. +. float_of_int (i mod 3)))
+
+(* A random normalized workload: 2-6 read classes, 0-3 update classes, each
+   over 1-3 distinct fragments from the pool, weights normalized to 1. *)
+let workload_gen =
+  let open QCheck.Gen in
+  let class_fragments =
+    let* k = int_range 1 3 in
+    let* idxs = list_size (return k) (int_range 0 7) in
+    return
+      (List.sort_uniq compare idxs |> List.map (fun i -> fragment_pool.(i)))
+  in
+  let* n_reads = int_range 2 6 in
+  let* n_updates = int_range 0 3 in
+  let* read_frs = list_size (return n_reads) class_fragments in
+  let* update_frs = list_size (return n_updates) class_fragments in
+  let* read_ws = list_size (return n_reads) (float_range 0.5 5.) in
+  let* update_ws = list_size (return n_updates) (float_range 0.1 1.) in
+  let reads =
+    List.mapi
+      (fun i (frs, w) ->
+        Query_class.read (Printf.sprintf "Q%d" (i + 1)) frs ~weight:w)
+      (List.combine read_frs read_ws)
+  in
+  let updates =
+    List.mapi
+      (fun i (frs, w) ->
+        Query_class.update (Printf.sprintf "U%d" (i + 1)) frs ~weight:w)
+      (List.combine update_frs update_ws)
+  in
+  return (Workload.normalize (Workload.make ~reads ~updates))
+
+(* Random homogeneous or heterogeneous backend list with 1-6 nodes. *)
+let backends_gen =
+  let open QCheck.Gen in
+  let* n = int_range 1 6 in
+  let* hetero = bool in
+  if hetero then
+    let* perfs = list_size (return n) (float_range 0.5 3.) in
+    return (Backend.heterogeneous perfs)
+  else return (Backend.homogeneous n)
+
+let workload_arbitrary = QCheck.make workload_gen
+
+let scenario_arbitrary =
+  QCheck.make
+    QCheck.Gen.(pair workload_gen backends_gen)
+    ~print:(fun (w, bs) ->
+      Fmt.str "%a on %d backends" Workload.pp w (List.length bs))

@@ -1,0 +1,255 @@
+(* Cluster layer: cost model, scheduler, simulator, controller. *)
+
+open Cdbs_core
+module Cost_model = Cdbs_cluster.Cost_model
+module Scheduler = Cdbs_cluster.Scheduler
+module Simulator = Cdbs_cluster.Simulator
+module Request = Cdbs_cluster.Request
+module Controller = Cdbs_cluster.Controller
+
+let fr ?(size = 1.) name = Fragment.table name ~size
+
+let workload () =
+  Workload.make
+    ~reads:
+      [
+        Query_class.read "q1" [ fr "a" ] ~weight:0.5;
+        Query_class.read "q2" [ fr "b" ] ~weight:0.3;
+      ]
+    ~updates:[ Query_class.update "u1" [ fr "a" ] ~weight:0.2 ]
+
+(* ---------------- cost model ---------------- *)
+
+let test_cache_factor () =
+  let p = { Cost_model.default with Cost_model.cache_mb = 100.; cold_penalty = 2. } in
+  Alcotest.(check (float 1e-9)) "fits in cache" 1.
+    (Cost_model.cache_factor p ~resident_mb:50.);
+  Alcotest.(check (float 1e-9)) "half spilled" 1.5
+    (Cost_model.cache_factor p ~resident_mb:200.)
+
+let test_service_time_scaling () =
+  let p = Cost_model.default in
+  let t1 =
+    Cost_model.service_time p ~class_mb:10. ~resident_mb:10. ~speed:1.
+      ~is_update:false ~replicas:1
+  in
+  let t2 =
+    Cost_model.service_time p ~class_mb:10. ~resident_mb:10. ~speed:2.
+      ~is_update:false ~replicas:1
+  in
+  Alcotest.(check (float 1e-9)) "speed halves time" (t1 /. 2.) t2;
+  let u1 =
+    Cost_model.service_time p ~class_mb:10. ~resident_mb:10. ~speed:1.
+      ~is_update:true ~replicas:1
+  in
+  let u10 =
+    Cost_model.service_time p ~class_mb:10. ~resident_mb:10. ~speed:1.
+      ~is_update:true ~replicas:10
+  in
+  Alcotest.(check bool) "sync overhead grows with replicas" true (u10 > u1)
+
+(* ---------------- scheduler ---------------- *)
+
+let test_scheduler_least_pending () =
+  let alloc = Baselines.full_replication (workload ()) (Backend.homogeneous 3) in
+  let sched = Scheduler.create alloc in
+  Scheduler.book sched ~backend:0 ~finish:10.;
+  Scheduler.book sched ~backend:1 ~finish:5.;
+  (* Backend 2 is idle: reads must go there. *)
+  match Scheduler.route sched ~now:0. (Request.read "q1") with
+  | Ok [ 2 ] -> ()
+  | Ok other ->
+      Alcotest.failf "expected backend 2, got %s"
+        (String.concat "," (List.map string_of_int other))
+  | Error e -> Alcotest.fail e
+
+let test_scheduler_rowa () =
+  let alloc = Baselines.full_replication (workload ()) (Backend.homogeneous 3) in
+  let sched = Scheduler.create alloc in
+  match Scheduler.route sched ~now:0. (Request.update "u1") with
+  | Ok targets -> Alcotest.(check int) "all three backends" 3 (List.length targets)
+  | Error e -> Alcotest.fail e
+
+let test_scheduler_partial_rowa () =
+  (* With a greedy partial allocation, u1 goes only to backends holding
+     fragment a. *)
+  let alloc = Greedy.allocate (workload ()) (Backend.homogeneous 3) in
+  let sched = Scheduler.create alloc in
+  match Scheduler.route sched ~now:0. (Request.update "u1") with
+  | Ok targets ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "target holds a" true
+            (Fragment.Set.mem (fr "a") (Allocation.fragments_of alloc b)))
+        targets
+  | Error e -> Alcotest.fail e
+
+let test_scheduler_unknown_class () =
+  let alloc = Greedy.allocate (workload ()) (Backend.homogeneous 2) in
+  let sched = Scheduler.create alloc in
+  match Scheduler.route sched ~now:0. (Request.read "nope") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown class routed"
+
+(* ---------------- simulator ---------------- *)
+
+let test_simulator_completes_everything () =
+  let alloc = Greedy.allocate (workload ()) (Backend.homogeneous 2) in
+  let config = Simulator.homogeneous_config 2 in
+  let reqs =
+    List.concat
+      (List.init 50 (fun _ ->
+           [ Request.read "q1"; Request.read "q2"; Request.update "u1" ]))
+  in
+  let outcome = Simulator.run_batch config alloc reqs in
+  Alcotest.(check int) "all completed" 150 outcome.Simulator.completed;
+  Alcotest.(check int) "no errors" 0 outcome.Simulator.errors;
+  Alcotest.(check bool) "positive throughput" true
+    (outcome.Simulator.throughput > 0.)
+
+let test_simulator_read_scaling () =
+  (* Read-only work on n backends is ~n times faster. *)
+  let w =
+    Workload.make
+      ~reads:[ Query_class.read "q1" [ fr "a" ] ~weight:1. ]
+      ~updates:[]
+  in
+  let reqs = List.init 300 (fun _ -> Request.read ~cost_mb:1. "q1") in
+  let tp n =
+    let alloc = Baselines.full_replication w (Backend.homogeneous n) in
+    (Simulator.run_batch (Simulator.homogeneous_config n) alloc reqs)
+      .Simulator.throughput
+  in
+  let t1 = tp 1 and t3 = tp 3 in
+  Alcotest.(check bool) "3 nodes ~3x" true (t3 /. t1 > 2.8 && t3 /. t1 < 3.2)
+
+let test_simulator_update_limits () =
+  (* Update-heavy full replication does not scale (Amdahl). *)
+  let w =
+    Workload.make
+      ~reads:[ Query_class.read "q1" [ fr "a" ] ~weight:0.5 ]
+      ~updates:[ Query_class.update "u1" [ fr "a" ] ~weight:0.5 ]
+  in
+  let reqs =
+    List.concat
+      (List.init 150 (fun _ ->
+           [ Request.read ~cost_mb:1. "q1"; Request.update ~cost_mb:1. "u1" ]))
+  in
+  let tp n =
+    let alloc = Baselines.full_replication w (Backend.homogeneous n) in
+    (Simulator.run_batch (Simulator.homogeneous_config n) alloc reqs)
+      .Simulator.throughput
+  in
+  let s4 = tp 4 /. tp 1 in
+  (* Amdahl with serial = 0.5 caps at 1.6 on 4 nodes. *)
+  Alcotest.(check bool) "speedup below 1.8" true (s4 < 1.8)
+
+let test_simulator_open_arrivals () =
+  let alloc = Greedy.allocate (workload ()) (Backend.homogeneous 2) in
+  let config = Simulator.homogeneous_config 2 in
+  let reqs =
+    List.init 20 (fun i ->
+        Request.read ~arrival:(float_of_int i) ~cost_mb:0.1 "q1")
+  in
+  let outcome = Simulator.run_open config alloc reqs in
+  (* Arrivals are spread out: no queueing, response equals service time. *)
+  Alcotest.(check bool) "short responses" true
+    (outcome.Simulator.avg_response < 0.05);
+  Alcotest.(check bool) "makespan spans arrivals" true
+    (outcome.Simulator.makespan >= 19.)
+
+(* ---------------- controller ---------------- *)
+
+let schema : Cdbs_storage.Schema.t =
+  [
+    Cdbs_storage.Schema.table "t" ~primary_key:[ "id" ]
+      [ ("id", Cdbs_storage.Schema.T_int); ("v", Cdbs_storage.Schema.T_int) ];
+    Cdbs_storage.Schema.table "u" ~primary_key:[ "id" ]
+      [ ("id", Cdbs_storage.Schema.T_int); ("w", Cdbs_storage.Schema.T_int) ];
+  ]
+
+let test_controller_end_to_end () =
+  let c =
+    Controller.create ~schema ~rows:[ ("t", 100); ("u", 50) ] ~backends:2
+      ~seed:3
+  in
+  (* Reads route and execute. *)
+  (match Controller.submit c "SELECT id FROM t WHERE v >= 0" with
+  | Ok (Cdbs_storage.Executor.Rows _) -> ()
+  | Ok _ -> Alcotest.fail "expected rows"
+  | Error e -> Alcotest.fail e);
+  (* Updates hit every backend: check by updating then reading back. *)
+  (match Controller.submit c "UPDATE t SET v = 7 WHERE id = 1" with
+  | Ok (Cdbs_storage.Executor.Affected 1) -> ()
+  | Ok _ -> Alcotest.fail "expected one row affected"
+  | Error e -> Alcotest.fail e);
+  for _ = 1 to 20 do
+    ignore (Controller.submit c "SELECT id FROM t WHERE v = 7")
+  done;
+  let processed, _ = Controller.stats c in
+  Alcotest.(check int) "journal grew" 22 processed;
+  Alcotest.(check int) "journal length" 22
+    (Journal.length (Controller.journal c))
+
+let test_controller_reallocate () =
+  let c =
+    Controller.create ~schema ~rows:[ ("t", 200); ("u", 200) ] ~backends:2
+      ~seed:3
+  in
+  (* t-heavy workload: after reallocation the backends should specialize. *)
+  for _ = 1 to 30 do
+    ignore (Controller.submit c "SELECT id FROM t WHERE v > 10")
+  done;
+  for _ = 1 to 10 do
+    ignore (Controller.submit c "SELECT id FROM u WHERE w > 10")
+  done;
+  (match Controller.reallocate c ~iterations:10 () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Controller.allocation c with
+  | Some alloc ->
+      Alcotest.(check bool) "valid" true (Allocation.validate alloc = Ok ())
+  | None -> Alcotest.fail "no allocation");
+  (* Every statement still answerable. *)
+  (match Controller.submit c "SELECT id FROM u WHERE w > 10" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match Controller.submit c "SELECT id FROM t WHERE v > 10" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_controller_empty_journal () =
+  let c =
+    Controller.create ~schema ~rows:[ ("t", 10) ] ~backends:2 ~seed:1
+  in
+  match Controller.reallocate c () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "reallocation with empty history accepted"
+
+let suite =
+  [
+    Alcotest.test_case "cost model: cache factor" `Quick test_cache_factor;
+    Alcotest.test_case "cost model: service time" `Quick
+      test_service_time_scaling;
+    Alcotest.test_case "scheduler: least pending first" `Quick
+      test_scheduler_least_pending;
+    Alcotest.test_case "scheduler: ROWA fan-out" `Quick test_scheduler_rowa;
+    Alcotest.test_case "scheduler: partial ROWA" `Quick
+      test_scheduler_partial_rowa;
+    Alcotest.test_case "scheduler: unknown class" `Quick
+      test_scheduler_unknown_class;
+    Alcotest.test_case "simulator: completes all requests" `Quick
+      test_simulator_completes_everything;
+    Alcotest.test_case "simulator: read-only scales linearly" `Quick
+      test_simulator_read_scaling;
+    Alcotest.test_case "simulator: updates cap speedup" `Quick
+      test_simulator_update_limits;
+    Alcotest.test_case "simulator: open arrivals" `Quick
+      test_simulator_open_arrivals;
+    Alcotest.test_case "controller: end to end" `Quick
+      test_controller_end_to_end;
+    Alcotest.test_case "controller: reallocation" `Quick
+      test_controller_reallocate;
+    Alcotest.test_case "controller: empty journal" `Quick
+      test_controller_empty_journal;
+  ]

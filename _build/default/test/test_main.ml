@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "cdbs"
+    [
+      ("lp", Test_lp.suite);
+      ("sql", Test_sql.suite);
+      ("storage", Test_storage.suite);
+      ("stats-index", Test_stats_index.suite);
+      ("core-model", Test_core_model.suite);
+      ("allocation", Test_allocation.suite);
+      ("physical", Test_physical.suite);
+      ("ksafety", Test_ksafety.suite);
+      ("cluster", Test_cluster.suite);
+      ("protocol", Test_protocol.suite);
+      ("workloads", Test_workloads.suite);
+      ("tpch-sql", Test_tpch_sql.suite);
+      ("timeseries", Test_timeseries.suite);
+      ("segmented-memetic", Test_segmented.suite);
+      ("autoscale", Test_autoscale.suite);
+      ("experiments", Test_experiments.suite);
+      ("paper-examples", Test_paper_examples.suite);
+    ]

@@ -1,0 +1,189 @@
+(* Table statistics / selectivity estimation and secondary indexes. *)
+
+open Cdbs_storage
+module Ast = Cdbs_sql.Ast
+
+let schema : Schema.t =
+  [
+    Schema.table "m" ~primary_key:[ "id" ]
+      [
+        ("id", Schema.T_int); ("grp", Schema.T_int); ("v", Schema.T_float);
+        ("tag", Schema.T_string 10);
+      ];
+  ]
+
+(* 100 rows: id 1..100, grp = id mod 10, v = float id. *)
+let mk_table () =
+  let db = Database.create schema in
+  let tbl = Database.table_exn db "m" in
+  for i = 1 to 100 do
+    match
+      Table.insert tbl
+        [|
+          Value.Int i; Value.Int (i mod 10); Value.Float (float_of_int i);
+          Value.Str (if i mod 2 = 0 then "even" else "odd");
+        |]
+    with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e
+  done;
+  (db, tbl)
+
+let expr s = Cdbs_sql.Parser.parse_expr s
+
+(* ---------------- statistics ---------------- *)
+
+let test_collect () =
+  let _, tbl = mk_table () in
+  let st = Table_stats.collect tbl in
+  Alcotest.(check int) "rows" 100 st.Table_stats.rows;
+  let grp = List.assoc "grp" st.Table_stats.columns in
+  Alcotest.(check int) "grp distinct" 10 grp.Table_stats.distinct;
+  let id = List.assoc "id" st.Table_stats.columns in
+  Alcotest.(check bool) "id min" true
+    (id.Table_stats.min_value = Some (Value.Int 1));
+  Alcotest.(check bool) "id max" true
+    (id.Table_stats.max_value = Some (Value.Int 100))
+
+let test_selectivity_equality () =
+  let _, tbl = mk_table () in
+  let st = Table_stats.collect tbl in
+  Alcotest.(check (float 1e-9)) "grp = 3 is 1/10" 0.1
+    (Table_stats.selectivity st (expr "grp = 3"));
+  Alcotest.(check (float 1e-9)) "id = 5 is 1/100" 0.01
+    (Table_stats.selectivity st (expr "id = 5"))
+
+let test_selectivity_range () =
+  let _, tbl = mk_table () in
+  let st = Table_stats.collect tbl in
+  (* id < 50 covers about half the [1,100] span. *)
+  let s = Table_stats.selectivity st (expr "id < 50") in
+  Alcotest.(check bool) "about half" true (abs_float (s -. 0.5) < 0.02);
+  let s2 = Table_stats.selectivity st (expr "id BETWEEN 20 AND 40") in
+  Alcotest.(check bool) "about a fifth" true (abs_float (s2 -. 0.2) < 0.02)
+
+let test_selectivity_compound () =
+  let _, tbl = mk_table () in
+  let st = Table_stats.collect tbl in
+  let a = Table_stats.selectivity st (expr "grp = 3 AND id < 50") in
+  Alcotest.(check bool) "conjunction multiplies" true
+    (abs_float (a -. 0.05) < 0.01);
+  let o = Table_stats.selectivity st (expr "grp = 3 OR grp = 4") in
+  Alcotest.(check (float 1e-9)) "disjunction adds" 0.2 o;
+  let n = Table_stats.selectivity st (expr "NOT grp = 3") in
+  Alcotest.(check (float 1e-9)) "negation complements" 0.9 n
+
+let test_estimate_rows () =
+  let _, tbl = mk_table () in
+  let st = Table_stats.collect tbl in
+  Alcotest.(check (float 1e-6)) "all rows" 100.
+    (Table_stats.estimate_rows st None);
+  Alcotest.(check (float 1e-6)) "tenth" 10.
+    (Table_stats.estimate_rows st (Some (expr "grp = 7")))
+
+let test_scan_bytes_monotone () =
+  let _, tbl = mk_table () in
+  let st = Table_stats.collect tbl in
+  let full = Table_stats.estimate_scan_bytes st None in
+  let filtered = Table_stats.estimate_scan_bytes st (Some (expr "grp = 7")) in
+  Alcotest.(check bool) "filter cheaper" true (filtered < full);
+  Alcotest.(check bool) "but still reads the table" true
+    (filtered > float_of_int st.Table_stats.bytes -. 1.)
+
+(* ---------------- indexes ---------------- *)
+
+let test_index_lookup () =
+  let _, tbl = mk_table () in
+  (match Table.create_index tbl "grp" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "has index" true (Table.has_index tbl "grp");
+  match Table.indexed_lookup tbl ~column:"grp" (Value.Int 3) with
+  | Some rows -> Alcotest.(check int) "10 matches" 10 (List.length rows)
+  | None -> Alcotest.fail "index missing"
+
+let test_index_maintained_on_insert () =
+  let _, tbl = mk_table () in
+  (match Table.create_index tbl "grp" with Ok () -> () | Error e -> Alcotest.fail e);
+  (match
+     Table.insert tbl
+       [| Value.Int 101; Value.Int 3; Value.Float 101.; Value.Str "odd" |]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Table.indexed_lookup tbl ~column:"grp" (Value.Int 3) with
+  | Some rows -> Alcotest.(check int) "11 matches" 11 (List.length rows)
+  | None -> Alcotest.fail "index missing"
+
+let test_index_rebuilt_on_update_delete () =
+  let _, tbl = mk_table () in
+  (match Table.create_index tbl "grp" with Ok () -> () | Error e -> Alcotest.fail e);
+  let moved =
+    Table.update_rows tbl
+      (fun row -> row.(1) = Value.Int 3)
+      (fun row ->
+        let r = Array.copy row in
+        r.(1) <- Value.Int 4;
+        r)
+  in
+  Alcotest.(check int) "10 moved" 10 moved;
+  (match Table.indexed_lookup tbl ~column:"grp" (Value.Int 3) with
+  | Some [] -> ()
+  | _ -> Alcotest.fail "stale index after update");
+  let removed = Table.delete_rows tbl (fun row -> row.(1) = Value.Int 4) in
+  Alcotest.(check int) "20 deleted" 20 removed;
+  match Table.indexed_lookup tbl ~column:"grp" (Value.Int 4) with
+  | Some [] -> ()
+  | _ -> Alcotest.fail "stale index after delete"
+
+let test_executor_uses_index () =
+  let db, tbl = mk_table () in
+  (match Table.create_index tbl "grp" with Ok () -> () | Error e -> Alcotest.fail e);
+  (* Same result with and without the index path. *)
+  match Executor.execute_sql db "SELECT id FROM m WHERE grp = 3 AND id < 50" with
+  | Ok (Executor.Rows { rows; _ }) ->
+      Alcotest.(check int) "5 rows" 5 (List.length rows)
+  | Ok _ -> Alcotest.fail "expected rows"
+  | Error e -> Alcotest.fail e
+
+let test_unknown_index_column () =
+  let _, tbl = mk_table () in
+  match Table.create_index tbl "nope" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "index on missing column accepted"
+
+(* Property: for random predicates over the generated table, the estimated
+   selectivity brackets the true one within a loose factor. *)
+let prop_selectivity_sane =
+  QCheck.Test.make ~count:50 ~name:"estimated selectivity stays in [0,1]"
+    QCheck.(int_range 0 9)
+    (fun g ->
+      let _, tbl = mk_table () in
+      let st = Table_stats.collect tbl in
+      let s =
+        Table_stats.selectivity st (expr (Printf.sprintf "grp = %d" g))
+      in
+      s >= 0. && s <= 1.)
+
+let suite =
+  [
+    Alcotest.test_case "stats: collect" `Quick test_collect;
+    Alcotest.test_case "stats: equality selectivity" `Quick
+      test_selectivity_equality;
+    Alcotest.test_case "stats: range selectivity" `Quick
+      test_selectivity_range;
+    Alcotest.test_case "stats: compound predicates" `Quick
+      test_selectivity_compound;
+    Alcotest.test_case "stats: row estimates" `Quick test_estimate_rows;
+    Alcotest.test_case "stats: scan bytes" `Quick test_scan_bytes_monotone;
+    Alcotest.test_case "index: lookup" `Quick test_index_lookup;
+    Alcotest.test_case "index: maintained on insert" `Quick
+      test_index_maintained_on_insert;
+    Alcotest.test_case "index: rebuilt on update/delete" `Quick
+      test_index_rebuilt_on_update_delete;
+    Alcotest.test_case "index: executor fast path" `Quick
+      test_executor_uses_index;
+    Alcotest.test_case "index: unknown column" `Quick
+      test_unknown_index_column;
+    QCheck_alcotest.to_alcotest prop_selectivity_sane;
+  ]

@@ -1,0 +1,276 @@
+(* Storage engine tests: values, tables, databases, executor. *)
+
+open Cdbs_storage
+
+let schema : Schema.t =
+  [
+    Schema.table "emp" ~primary_key:[ "id" ]
+      [
+        ("id", Schema.T_int); ("name", Schema.T_string 20);
+        ("dept", Schema.T_int); ("salary", Schema.T_float);
+      ];
+    Schema.table "dept" ~primary_key:[ "did" ]
+      [ ("did", Schema.T_int); ("dname", Schema.T_string 20) ];
+  ]
+
+let mk_db () =
+  let db = Database.create schema in
+  let ins name row =
+    match Database.insert db name row with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "insert failed: %s" e
+  in
+  List.iter
+    (fun (id, name, dept, salary) ->
+      ins "emp"
+        [|
+          Value.Int id; Value.Str name; Value.Int dept; Value.Float salary;
+        |])
+    [
+      (1, "ada", 10, 5000.); (2, "bob", 10, 4000.); (3, "cyd", 20, 6000.);
+      (4, "dan", 20, 3500.); (5, "eve", 30, 7000.);
+    ];
+  List.iter
+    (fun (did, dname) -> ins "dept" [| Value.Int did; Value.Str dname |])
+    [ (10, "eng"); (20, "ops"); (30, "hr") ];
+  db
+
+let query db sql =
+  match Executor.execute_sql db sql with
+  | Ok (Executor.Rows { columns; rows }) -> (columns, rows)
+  | Ok (Executor.Affected _) -> Alcotest.fail "expected rows"
+  | Error e -> Alcotest.failf "query failed: %s" e
+
+let dml db sql =
+  match Executor.execute_sql db sql with
+  | Ok (Executor.Affected n) -> n
+  | Ok (Executor.Rows _) -> Alcotest.fail "expected affected count"
+  | Error e -> Alcotest.failf "statement failed: %s" e
+
+(* ---------------- values ---------------- *)
+
+let test_value_compare () =
+  Alcotest.(check bool) "int vs float" true
+    (Value.compare (Value.Int 2) (Value.Float 2.0) = 0);
+  Alcotest.(check bool) "ordering" true
+    (Value.compare (Value.Int 1) (Value.Float 1.5) < 0);
+  Alcotest.(check bool) "null smallest" true
+    (Value.compare Value.Null (Value.Int (-100)) < 0)
+
+let test_value_arith () =
+  Alcotest.(check bool) "int add" true
+    (Value.add (Value.Int 2) (Value.Int 3) = Value.Int 5);
+  (match Value.add (Value.Int 2) (Value.Float 0.5) with
+  | Value.Float f -> Alcotest.(check (float 1e-9)) "promote" 2.5 f
+  | _ -> Alcotest.fail "expected float");
+  Alcotest.(check bool) "div by zero is null" true
+    (Value.div (Value.Int 1) (Value.Int 0) = Value.Null);
+  Alcotest.(check bool) "string arith is null" true
+    (Value.add (Value.Str "a") (Value.Int 1) = Value.Null)
+
+(* ---------------- table ---------------- *)
+
+let test_table_pk_duplicate () =
+  let db = mk_db () in
+  match
+    Database.insert db "emp"
+      [| Value.Int 1; Value.Str "dup"; Value.Int 1; Value.Float 1. |]
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate primary key accepted"
+
+let test_table_pk_lookup () =
+  let db = mk_db () in
+  let tbl = Database.table_exn db "emp" in
+  (match Table.find_by_pk tbl [ Value.Int 3 ] with
+  | Some row -> Alcotest.(check bool) "name" true (row.(1) = Value.Str "cyd")
+  | None -> Alcotest.fail "pk lookup failed");
+  Alcotest.(check bool) "missing pk" true
+    (Table.find_by_pk tbl [ Value.Int 99 ] = None)
+
+let test_table_update_refreshes_index () =
+  let db = mk_db () in
+  let n = dml db "UPDATE emp SET id = 30 WHERE id = 3" in
+  Alcotest.(check int) "one row" 1 n;
+  let tbl = Database.table_exn db "emp" in
+  Alcotest.(check bool) "old key gone" true
+    (Table.find_by_pk tbl [ Value.Int 3 ] = None);
+  Alcotest.(check bool) "new key found" true
+    (Table.find_by_pk tbl [ Value.Int 30 ] <> None)
+
+let test_partial_database () =
+  let db = Database.create_partial schema ~tables:[ "dept" ] in
+  Alcotest.(check (list string)) "only dept" [ "dept" ]
+    (Database.table_names db);
+  Alcotest.(check bool) "emp missing" true (Database.table db "emp" = None)
+
+let test_copy_table () =
+  let src = mk_db () in
+  let dst = Database.create_partial schema ~tables:[ "emp" ] in
+  (match Database.copy_table_into ~src ~dst "emp" with
+  | Ok n -> Alcotest.(check int) "rows copied" 5 n
+  | Error e -> Alcotest.failf "copy failed: %s" e);
+  Alcotest.(check int) "row count" 5
+    (Table.row_count (Database.table_exn dst "emp"))
+
+(* ---------------- executor: queries ---------------- *)
+
+let test_select_filter () =
+  let db = mk_db () in
+  let _, rows = query db "SELECT name FROM emp WHERE salary >= 5000" in
+  Alcotest.(check int) "3 high earners" 3 (List.length rows)
+
+let test_select_projection_order () =
+  let db = mk_db () in
+  let columns, rows =
+    query db "SELECT name, salary FROM emp ORDER BY salary DESC LIMIT 2"
+  in
+  Alcotest.(check (list string)) "columns" [ "name"; "salary" ] columns;
+  match rows with
+  | [ [| Value.Str "eve"; _ |]; [| Value.Str "cyd"; _ |] ] -> ()
+  | _ -> Alcotest.fail "wrong order/limit"
+
+let test_select_join () =
+  let db = mk_db () in
+  let _, rows =
+    query db
+      "SELECT name, dname FROM emp JOIN dept ON emp.dept = dept.did WHERE \
+       dname = 'ops'"
+  in
+  Alcotest.(check int) "two ops employees" 2 (List.length rows)
+
+let test_select_cross_join_filtered () =
+  let db = mk_db () in
+  let _, rows =
+    query db "SELECT name FROM emp, dept WHERE dept = did AND dname = 'hr'"
+  in
+  Alcotest.(check int) "one hr employee" 1 (List.length rows)
+
+let test_aggregates () =
+  let db = mk_db () in
+  let _, rows = query db "SELECT count(*), sum(salary), avg(salary), min(salary), max(salary) FROM emp" in
+  match rows with
+  | [ [| Value.Int 5; Value.Float sum; Value.Float avg; mn; mx |] ] ->
+      Alcotest.(check (float 1e-6)) "sum" 25500. sum;
+      Alcotest.(check (float 1e-6)) "avg" 5100. avg;
+      Alcotest.(check bool) "min" true (Value.compare mn (Value.Float 3500.) = 0);
+      Alcotest.(check bool) "max" true (Value.compare mx (Value.Float 7000.) = 0)
+  | _ -> Alcotest.fail "aggregate row shape"
+
+let test_group_by_having () =
+  let db = mk_db () in
+  let _, rows =
+    query db
+      "SELECT dept, count(*) AS n FROM emp GROUP BY dept HAVING count(*) >= \
+       2 ORDER BY dept"
+  in
+  match rows with
+  | [ [| Value.Int 10; Value.Int 2 |]; [| Value.Int 20; Value.Int 2 |] ] -> ()
+  | _ -> Alcotest.failf "wrong groups (%d rows)" (List.length rows)
+
+let test_aggregate_empty_input () =
+  let db = mk_db () in
+  let _, rows = query db "SELECT count(*) FROM emp WHERE salary > 100000" in
+  match rows with
+  | [ [| Value.Int 0 |] ] -> ()
+  | _ -> Alcotest.fail "count over empty input should be one row of 0"
+
+let test_distinct () =
+  let db = mk_db () in
+  let _, rows = query db "SELECT DISTINCT dept FROM emp" in
+  Alcotest.(check int) "three departments" 3 (List.length rows)
+
+let test_like_and_in () =
+  let db = mk_db () in
+  let _, rows = query db "SELECT name FROM emp WHERE name LIKE '%a%'" in
+  (* ada and dan contain 'a'. *)
+  Alcotest.(check int) "like matches" 2 (List.length rows);
+  let _, rows = query db "SELECT name FROM emp WHERE dept IN (10, 30)" in
+  Alcotest.(check int) "in matches" 3 (List.length rows)
+
+(* ---------------- executor: DML ---------------- *)
+
+let test_insert_select () =
+  let db = mk_db () in
+  let n =
+    dml db
+      "INSERT INTO emp (id, name, dept, salary) VALUES (6, 'fay', 10, 4500)"
+  in
+  Alcotest.(check int) "inserted" 1 n;
+  let _, rows = query db "SELECT name FROM emp WHERE dept = 10" in
+  Alcotest.(check int) "now three in eng" 3 (List.length rows)
+
+let test_update_expression () =
+  let db = mk_db () in
+  let n = dml db "UPDATE emp SET salary = salary * 2 WHERE dept = 10" in
+  Alcotest.(check int) "two updated" 2 n;
+  let _, rows = query db "SELECT salary FROM emp WHERE name = 'ada'" in
+  match rows with
+  | [ [| Value.Float s |] ] -> Alcotest.(check (float 1e-6)) "doubled" 10000. s
+  | _ -> Alcotest.fail "row shape"
+
+let test_delete () =
+  let db = mk_db () in
+  let n = dml db "DELETE FROM emp WHERE salary < 4000" in
+  Alcotest.(check int) "one deleted" 1 n;
+  let _, rows = query db "SELECT id FROM emp" in
+  Alcotest.(check int) "four left" 4 (List.length rows)
+
+let test_executor_errors () =
+  let db = mk_db () in
+  List.iter
+    (fun sql ->
+      match Executor.execute_sql db sql with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected error for %S" sql)
+    [
+      "SELECT nope FROM emp";
+      "SELECT id FROM missing";
+      "INSERT INTO emp (id) VALUES (1, 2)";
+      "UPDATE emp SET nope = 1";
+      "not sql at all";
+    ]
+
+(* Property: generated rows survive a write-read round trip. *)
+let prop_datagen_rows_valid =
+  QCheck.Test.make ~count:30 ~name:"datagen produces valid rows"
+    QCheck.(int_range 1 200)
+    (fun rows ->
+      let db = Database.create schema in
+      Datagen.populate
+        (Cdbs_util.Rng.create rows)
+        db
+        ~rows_per_table:[ ("emp", rows); ("dept", rows) ];
+      Table.row_count (Database.table_exn db "emp") = rows
+      && Database.byte_size db > 0)
+
+let suite =
+  [
+    Alcotest.test_case "value: compare" `Quick test_value_compare;
+    Alcotest.test_case "value: arithmetic" `Quick test_value_arith;
+    Alcotest.test_case "table: duplicate pk" `Quick test_table_pk_duplicate;
+    Alcotest.test_case "table: pk lookup" `Quick test_table_pk_lookup;
+    Alcotest.test_case "table: update refreshes index" `Quick
+      test_table_update_refreshes_index;
+    Alcotest.test_case "database: partial" `Quick test_partial_database;
+    Alcotest.test_case "database: bulk copy" `Quick test_copy_table;
+    Alcotest.test_case "executor: filter" `Quick test_select_filter;
+    Alcotest.test_case "executor: projection/order/limit" `Quick
+      test_select_projection_order;
+    Alcotest.test_case "executor: equi-join" `Quick test_select_join;
+    Alcotest.test_case "executor: comma join" `Quick
+      test_select_cross_join_filtered;
+    Alcotest.test_case "executor: aggregates" `Quick test_aggregates;
+    Alcotest.test_case "executor: group by / having" `Quick
+      test_group_by_having;
+    Alcotest.test_case "executor: empty aggregate" `Quick
+      test_aggregate_empty_input;
+    Alcotest.test_case "executor: distinct" `Quick test_distinct;
+    Alcotest.test_case "executor: like / in" `Quick test_like_and_in;
+    Alcotest.test_case "executor: insert" `Quick test_insert_select;
+    Alcotest.test_case "executor: update expression" `Quick
+      test_update_expression;
+    Alcotest.test_case "executor: delete" `Quick test_delete;
+    Alcotest.test_case "executor: error cases" `Quick test_executor_errors;
+    QCheck_alcotest.to_alcotest prop_datagen_rows_valid;
+  ]

@@ -1,0 +1,74 @@
+(* Horizontal (predicate-range) classification end to end: on the
+   time-partitioned event archive, range granularity must beat table
+   granularity (paper Sec. 3.1's motivation for predicate classes). *)
+
+open Cdbs_core
+module Timeseries = Cdbs_workloads.Timeseries
+
+let workload granularity =
+  Timeseries.workload ~granularity ~rng:(Cdbs_util.Rng.create 11) ~n:3000
+
+let allocate w =
+  Memetic.allocate ~rng:(Cdbs_util.Rng.create 3) w (Backend.homogeneous 6)
+
+let test_class_structure () =
+  let table = workload `Table in
+  let pred = workload `Predicate in
+  Alcotest.(check int) "one table-level update class" 1
+    (List.length table.Workload.updates);
+  Alcotest.(check int) "three disjoint range update classes" 3
+    (List.length pred.Workload.updates);
+  (* The three update classes are pairwise disjoint. *)
+  List.iteri
+    (fun i u1 ->
+      List.iteri
+        (fun j u2 ->
+          if i < j then
+            Alcotest.(check bool) "disjoint updates" false
+              (Query_class.overlaps u1 u2))
+        pred.Workload.updates)
+    pred.Workload.updates
+
+let test_insert_lands_in_head_range () =
+  let pred = workload `Predicate in
+  let insert =
+    List.find
+      (fun u -> Fragment.Set.cardinal u.Query_class.fragments = 1)
+      (List.filter
+         (fun u ->
+           Fragment.Set.exists
+             (fun f ->
+               match f.Fragment.kind with
+               | Fragment.Range { lo; _ } -> lo = 270.
+               | _ -> false)
+             u.Query_class.fragments)
+         pred.Workload.updates)
+  in
+  Alcotest.(check int) "single range" 1
+    (Fragment.Set.cardinal insert.Query_class.fragments)
+
+let test_predicate_beats_table () =
+  let table_alloc = allocate (workload `Table) in
+  let pred_alloc = allocate (workload `Predicate) in
+  Alcotest.(check bool) "valid" true (Allocation.validate pred_alloc = Ok ());
+  Alcotest.(check bool) "higher speedup" true
+    (Allocation.speedup pred_alloc > Allocation.speedup table_alloc +. 0.5);
+  Alcotest.(check bool) "less replication" true
+    (Replication.degree pred_alloc < Replication.degree table_alloc /. 2.)
+
+let test_bound_improves () =
+  let table = workload `Table in
+  let pred = workload `Predicate in
+  Alcotest.(check bool) "Eq. 17 bound rises with disjoint updates" true
+    (Speedup.max_speedup_bound pred ~nodes:6
+    > Speedup.max_speedup_bound table ~nodes:6)
+
+let suite =
+  [
+    Alcotest.test_case "class structure" `Quick test_class_structure;
+    Alcotest.test_case "insert lands in head range" `Quick
+      test_insert_lands_in_head_range;
+    Alcotest.test_case "predicate beats table granularity" `Slow
+      test_predicate_beats_table;
+    Alcotest.test_case "Eq. 17 bound improves" `Quick test_bound_improves;
+  ]

@@ -1,0 +1,139 @@
+(* The TPC-H SQL texts must parse, analyze to exactly the statistical class
+   footprints, execute on a generated mini database, and classify back to
+   the same workload. *)
+
+open Cdbs_core
+module Tpch = Cdbs_workloads.Tpch
+module Queries = Cdbs_workloads.Tpch_queries
+module Analyze = Cdbs_sql.Analyze
+
+let footprints_by_id =
+  (* The statistical definitions, recovered through the spec layer. *)
+  let specs = Tpch.specs ~sf:1. in
+  List.map
+    (fun (s : Cdbs_workloads.Spec.class_spec) -> (s.Cdbs_workloads.Spec.id, s.Cdbs_workloads.Spec.footprint))
+    specs
+
+let test_all_queries_parse () =
+  Alcotest.(check int) "19 queries" 19 (List.length Queries.all);
+  List.iter
+    (fun (id, sql) ->
+      match Cdbs_sql.Parser.parse sql with
+      | _ -> ()
+      | exception Cdbs_sql.Parser.Parse_error m ->
+          Alcotest.failf "%s does not parse: %s" id m)
+    Queries.all
+
+let test_footprints_match_specs () =
+  let schema_assoc = Cdbs_storage.Schema.to_assoc Tpch.schema in
+  List.iter
+    (fun (id, sql) ->
+      let fp = Analyze.footprint_of_sql ~schema:schema_assoc sql in
+      let expected =
+        match List.assoc_opt id footprints_by_id with
+        | Some f -> f
+        | None -> Alcotest.failf "no spec for %s" id
+      in
+      let expected_tables =
+        List.sort compare (List.map fst expected)
+      in
+      Alcotest.(check (list string)) (id ^ " tables") expected_tables
+        fp.Analyze.tables;
+      let expected_columns =
+        List.sort compare
+          (List.concat_map
+             (fun (t, cols) -> List.map (fun c -> (t, c)) cols)
+             expected)
+      in
+      Alcotest.(check (list (pair string string)))
+        (id ^ " columns") expected_columns fp.Analyze.columns)
+    Queries.all
+
+let test_queries_execute () =
+  (* A miniature TPC-H instance: every query must run without error. *)
+  let db = Cdbs_storage.Database.create Tpch.schema in
+  Cdbs_storage.Datagen.populate
+    (Cdbs_util.Rng.create 13)
+    db
+    ~rows_per_table:
+      [
+        ("region", 5); ("nation", 25); ("supplier", 30); ("customer", 60);
+        ("part", 50); ("partsupp", 80); ("orders", 120); ("lineitem", 300);
+      ];
+  List.iter
+    (fun (id, sql) ->
+      match Cdbs_storage.Executor.execute_sql db sql with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s failed to execute: %s" id e)
+    Queries.all
+
+let test_journal_classifies_to_19_classes () =
+  let journal =
+    Queries.journal ~rng:(Cdbs_util.Rng.create 3) ~n:2000 ~sf:1.
+  in
+  let size_of =
+    Classification.default_sizes ~schema:Tpch.schema
+      ~rows:(Tpch.row_counts ~sf:1.)
+  in
+  let w =
+    Classification.classify ~schema:Tpch.schema ~size_of
+      Classification.By_column journal
+  in
+  Alcotest.(check int) "19 classes from SQL" 19 (List.length w.Workload.reads);
+  Alcotest.(check int) "no updates" 0 (List.length w.Workload.updates);
+  (* Weights of the SQL-journal classification match the statistical
+     workload: compare by fragment-set identity. *)
+  let reference = Tpch.workload ~granularity:`Column ~sf:1. in
+  List.iter
+    (fun c ->
+      let matching =
+        List.find_opt
+          (fun r ->
+            Fragment.Set.equal r.Query_class.fragments c.Query_class.fragments)
+          reference.Workload.reads
+      in
+      match matching with
+      | None ->
+          Alcotest.failf "class %s has no counterpart" c.Query_class.id
+      | Some r ->
+          (* Rounding of request counts distorts weights slightly. *)
+          if abs_float (r.Query_class.weight -. c.Query_class.weight) > 0.01
+          then
+            Alcotest.failf "weight mismatch for %s: %.4f vs %.4f"
+              c.Query_class.id c.Query_class.weight r.Query_class.weight)
+    w.Workload.reads
+
+let test_sql_journal_allocation_agrees () =
+  (* End-to-end: allocating from the SQL journal gives the same degree of
+     replication as allocating from the statistical workload. *)
+  let journal =
+    Queries.journal ~rng:(Cdbs_util.Rng.create 5) ~n:4000 ~sf:1.
+  in
+  let size_of =
+    Classification.default_sizes ~schema:Tpch.schema
+      ~rows:(Tpch.row_counts ~sf:1.)
+  in
+  let from_sql =
+    Classification.classify ~schema:Tpch.schema ~size_of
+      Classification.By_column journal
+  in
+  let reference = Tpch.workload ~granularity:`Column ~sf:1. in
+  let backends = Backend.homogeneous 6 in
+  let a1 = Greedy.allocate from_sql backends in
+  let a2 = Greedy.allocate reference backends in
+  Alcotest.(check bool) "degrees within 5%" true
+    (abs_float (Replication.degree a1 -. Replication.degree a2) < 0.05
+     *. Replication.degree a2 +. 0.05)
+
+let suite =
+  [
+    Alcotest.test_case "all 19 queries parse" `Quick test_all_queries_parse;
+    Alcotest.test_case "footprints match the class definitions" `Quick
+      test_footprints_match_specs;
+    Alcotest.test_case "queries execute on generated data" `Quick
+      test_queries_execute;
+    Alcotest.test_case "SQL journal classifies to the 19 classes" `Quick
+      test_journal_classifies_to_19_classes;
+    Alcotest.test_case "SQL-journal allocation agrees" `Quick
+      test_sql_journal_allocation_agrees;
+  ]
