@@ -281,13 +281,13 @@ let experiment_cmd =
                 [
                   ("tables", `Tables); ("tpch", `Tpch); ("tpcapp", `Tpcapp);
                   ("balance", `Balance); ("elastic", `Elastic);
-                  ("ablation", `Ablation);
+                  ("ablation", `Ablation); ("migration", `Migration);
                 ]))
           None
       & info [] ~docv:"SECTION"
           ~doc:
             "Experiment section: $(b,tables), $(b,tpch), $(b,tpcapp), \
-             $(b,balance), $(b,elastic) or $(b,ablation).")
+             $(b,balance), $(b,elastic), $(b,ablation) or $(b,migration).")
   in
   let run = function
     | `Tables -> Cdbs_experiments.Tables.print_all ()
@@ -296,10 +296,97 @@ let experiment_cmd =
     | `Balance -> Cdbs_experiments.Fig_balance.print_all ()
     | `Elastic -> Cdbs_experiments.Fig_elastic.print_all ()
     | `Ablation -> Cdbs_experiments.Ablation.print_all ()
+    | `Migration -> Cdbs_experiments.Fig_migration.print_all ()
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run a paper-reproduction experiment section")
     Term.(const run $ section_arg)
+
+(* ------------------------------------------------------------------ *)
+(* migrate                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let migrate_cmd =
+  let from_hour_arg =
+    Arg.(
+      value & opt float 4.
+      & info [ "from-hour" ] ~docv:"H"
+          ~doc:"Hour of day whose mix the cluster is currently allocated for.")
+  in
+  let to_hour_arg =
+    Arg.(
+      value & opt float 14.
+      & info [ "to-hour" ] ~docv:"H"
+          ~doc:"Hour of day whose mix to rebalance towards.")
+  in
+  let bandwidth_arg =
+    Arg.(
+      value & opt float 2.
+      & info [ "b"; "bandwidth" ] ~docv:"MB/S"
+          ~doc:"Copy throttle per stream in MB/s.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 40.
+      & info [ "rate" ] ~docv:"R" ~doc:"Offered load in requests per second.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 600.
+      & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+  in
+  let at_arg =
+    Arg.(
+      value & opt float 150.
+      & info [ "at" ] ~docv:"S" ~doc:"When the rebalance starts.")
+  in
+  let show_plan_arg =
+    Arg.(
+      value & flag
+      & info [ "show-plan" ]
+          ~doc:"Print the ordered per-fragment copy/drop plan.")
+  in
+  let run nodes from_hour to_hour bandwidth rate duration at show_plan seed =
+    let module Fm = Cdbs_experiments.Fig_migration in
+    if bandwidth <= 0. then begin
+      prerr_endline "migrate: --bandwidth must be positive";
+      exit 1
+    end;
+    if show_plan then begin
+      let plan = Fm.plan ~nodes ~from_hour ~to_hour () in
+      Fmt.pr "%a@." Cdbs_migration.Planner.pp plan;
+      Fmt.pr "%a@." Cdbs_migration.Schedule.pp
+        (Cdbs_migration.Schedule.make ~start:at ~bandwidth plan)
+    end;
+    let r =
+      Fm.scenario ~nodes ~bandwidth ~rate_per_s:rate ~duration ~migrate_at:at
+        ~seed ~from_hour ~to_hour ()
+    in
+    Fmt.pr "%10s%10s%12s%8s  %s@." "from(s)" "to(s)" "resp(ms)" "req" "phase";
+    List.iter
+      (fun (p : Fm.point) ->
+        Fmt.pr "%10.0f%10.0f%12.2f%8d  %s@." p.Fm.t0 p.Fm.t1 p.Fm.avg_ms
+          p.Fm.n p.Fm.phase)
+      r.Fm.timeline;
+    Fmt.pr
+      "copy phase %.0fs - %.0fs; response before %.2f ms, during %.2f ms, \
+       after %.2f ms@."
+      r.Fm.copy_start r.Fm.copy_done r.Fm.before_ms r.Fm.during_ms
+      r.Fm.after_ms;
+    Fmt.pr
+      "shipped %.1f MB live vs %.1f MB full rebuild; replayed %.2f MB; \
+       errors %d; min live replicas %d; target deployed %b@."
+      r.Fm.copied_mb r.Fm.full_rebuild_mb r.Fm.replayed_mb r.Fm.errors
+      r.Fm.min_live_replicas r.Fm.target_deployed
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:
+         "Rebalance a live cluster between two trace allocations while \
+          serving, and report the response-time timeline")
+    Term.(
+      const run $ backends_arg $ from_hour_arg $ to_hour_arg $ bandwidth_arg
+      $ rate_arg $ duration_arg $ at_arg $ show_plan_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* journalgen                                                          *)
@@ -341,5 +428,5 @@ let () =
           (Cmd.info "cdbs" ~version:"1.0.0" ~doc)
           [
             classify_cmd; allocate_cmd; simulate_cmd; experiment_cmd;
-            journalgen_cmd;
+            migrate_cmd; journalgen_cmd;
           ]))

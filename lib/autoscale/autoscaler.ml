@@ -7,6 +7,8 @@ module Backend = Cdbs_core.Backend
 module Allocation = Cdbs_core.Allocation
 module Physical = Cdbs_core.Physical
 module Fragment = Cdbs_core.Fragment
+module Planner = Cdbs_migration.Planner
+module Schedule = Cdbs_migration.Schedule
 
 type window_report = {
   hour : float;
@@ -15,6 +17,7 @@ type window_report = {
   avg_response_scaled : float;
   avg_response_static : float;
   transfer_mb : float;
+  migrating : bool;
 }
 
 type summary = {
@@ -33,7 +36,8 @@ let fragment_sets alloc =
   List.init (Allocation.num_backends alloc) (Allocation.fragments_of alloc)
 
 let simulate_days ?(window_minutes = 10.) ?(scale = 40.) ?policy
-    ?(predictive = false) ?(capacity_per_node = 60.) ?(days = 1) ~rng () =
+    ?(predictive = false) ?(capacity_per_node = 60.) ?(days = 1)
+    ?(live = false) ?(bandwidth_mb_s = 20.) ~rng () =
   let policy =
     match policy with Some p -> p | None -> Policy.create ()
   in
@@ -47,6 +51,9 @@ let simulate_days ?(window_minutes = 10.) ?(scale = 40.) ?policy
   (* Midnight still sees ~100 scaled queries/s; start with two backends. *)
   let nodes = ref 2 in
   let alloc = ref (allocation_for ~hour:0. !nodes) in
+  (* In live mode a scale decision is deployed by a throttled background
+     rebalance that executes during the following window. *)
+  let pending_migration = ref None in
   let reallocations = ref 0 in
   let total_transfer = ref 0. in
   let windows = ref [] in
@@ -77,7 +84,19 @@ let simulate_days ?(window_minutes = 10.) ?(scale = 40.) ?policy
       let config = Simulator.homogeneous_config count in
       Simulator.run_open config alloc_now requests
     in
-    let scaled_outcome = run !alloc !nodes in
+    let scaled_outcome, migrating =
+      match !pending_migration with
+      | Some schedule ->
+          pending_migration := None;
+          let m = schedule.Schedule.plan.Planner.num_physical in
+          let config = Simulator.homogeneous_config m in
+          let mo =
+            Simulator.run_open_with_migration config ~target:!alloc ~schedule
+              requests
+          in
+          (mo.Simulator.run, true)
+      | None -> (run !alloc !nodes, false)
+    in
     let static_outcome = run static_alloc static_nodes in
     let utilization =
       Cdbs_util.Stats.mean (Array.to_list scaled_outcome.Simulator.utilization)
@@ -125,11 +144,19 @@ let simulate_days ?(window_minutes = 10.) ?(scale = 40.) ?policy
     (match target with
     | Some target when target <> !nodes ->
         let next = allocation_for ~hour target in
-        let plan =
-          Physical.plan_scaled ~old_fragments:(fragment_sets !alloc) next
-        in
-        transfer := plan.Physical.transfer;
-        total_transfer := !total_transfer +. plan.Physical.transfer;
+        let old_fragments = fragment_sets !alloc in
+        if live then begin
+          let plan = Planner.make ~old_fragments next in
+          let schedule = Schedule.make ~bandwidth:bandwidth_mb_s plan in
+          pending_migration := Some schedule;
+          transfer := plan.Planner.copy_mb;
+          total_transfer := !total_transfer +. plan.Planner.copy_mb
+        end
+        else begin
+          let plan = Physical.plan_scaled ~old_fragments next in
+          transfer := plan.Physical.transfer;
+          total_transfer := !total_transfer +. plan.Physical.transfer
+        end;
         incr reallocations;
         nodes := target;
         alloc := next
@@ -149,6 +176,7 @@ let simulate_days ?(window_minutes = 10.) ?(scale = 40.) ?policy
         avg_response_scaled = scaled_outcome.Simulator.avg_response;
         avg_response_static = static_outcome.Simulator.avg_response;
         transfer_mb = !transfer;
+        migrating;
       }
       :: !windows
   done;

@@ -14,6 +14,8 @@ type window_report = {
   avg_response_scaled : float;  (** seconds, autonomic cluster *)
   avg_response_static : float;  (** seconds, static max-size cluster *)
   transfer_mb : float;  (** data shipped by a reallocation in this window *)
+  migrating : bool;
+      (** a live rebalance executed in the background during this window *)
 }
 
 type summary = {
@@ -41,6 +43,8 @@ val simulate_days :
   ?predictive:bool ->
   ?capacity_per_node:float ->
   ?days:int ->
+  ?live:bool ->
+  ?bandwidth_mb_s:float ->
   rng:Cdbs_util.Rng.t ->
   unit ->
   summary list
@@ -50,4 +54,10 @@ val simulate_days :
     upcoming window ([capacity_per_node] queries/s per backend at the
     target utilization, default 60), with the reactive policy still acting
     as a safety net.  Day 2 onward thus avoids the ramp-chasing spikes of
-    purely reactive scaling (paper Sec. 5, periodic workloads). *)
+    purely reactive scaling (paper Sec. 5, periodic workloads).
+
+    With [live] (default false) scale decisions are deployed by the live
+    migration subsystem: instead of an instantaneous swap, the copy work
+    runs as a [bandwidth_mb_s]-throttled (default 20 MB/s) background
+    rebalance during the following window, whose response-time degradation
+    shows up in that window's report ([migrating] is set). *)

@@ -10,10 +10,42 @@ module Allocation = Cdbs_core.Allocation
 module Memetic = Cdbs_core.Memetic
 module Backend = Cdbs_core.Backend
 module Physical = Cdbs_core.Physical
+module Planner = Cdbs_migration.Planner
 
 type backend_state = {
   mutable db : Database.t;
   mutable pending_cost : float;  (** accumulated routed cost, for balance *)
+}
+
+(* One table copy in flight: a snapshot "ships" at the configured bandwidth
+   while updates touching the table accumulate in the delta journal. *)
+type copy_state = {
+  cp_dest : int;
+  cp_table : string;
+  cp_size : float;  (** megabytes to ship *)
+  staging : Database.t;  (** snapshot taken when the copy started *)
+  mutable cp_shipped : float;
+  mutable cp_deltas : string list;  (** captured SQL, newest first *)
+}
+
+type migration_state = {
+  mig_target : Allocation.t;
+  mig_plan : Planner.plan;
+  mutable mig_pending : Planner.move list;  (** copies not yet started *)
+  mutable mig_in_flight : copy_state option;
+  mig_bandwidth : float;  (** megabytes shipped per submitted request *)
+  mutable mig_shipped : float;
+  mutable mig_done : int;
+  mutable mig_replayed : int;  (** delta statements replayed at cutovers *)
+}
+
+type migration_progress = {
+  tables_total : int;
+  tables_done : int;
+  mb_total : float;
+  mb_shipped : float;
+  delta_pending : int;
+  replayed_statements : int;
 }
 
 type t = {
@@ -25,6 +57,7 @@ type t = {
   journal : Journal.t;
   rng : Cdbs_util.Rng.t;
   mutable allocation : Allocation.t option;
+  mutable migration : migration_state option;
   mutable processed : int;
   mutable total_cost : float;
   mutable clock : float;
@@ -54,6 +87,7 @@ let create ~schema ~rows ~backends ~seed =
     journal = Journal.create ();
     rng;
     allocation = None;
+    migration = None;
     processed = 0;
     total_cost = 0.;
     clock = 0.;
@@ -93,6 +127,102 @@ let cost_of_statement t stmt (fp : Analyze.footprint) =
 let holds_tables st tables =
   List.for_all (fun tbl -> Database.table st.db tbl <> None) tables
 
+(* ------------------------------------------------------------------ *)
+(* Live migration machinery (used by submit; entry points further down) *)
+(* ------------------------------------------------------------------ *)
+
+let table_of_move (m : Planner.move) =
+  match m.Planner.fragment.Fragment.kind with
+  | Fragment.Table name -> name
+  | Fragment.Column { table; _ } | Fragment.Range { table; _ } -> table
+
+(* Cut over the in-flight copy: replay its captured deltas on the staged
+   snapshot, then swap the staged table into the destination's catalog. *)
+let cutover t (mig : migration_state) (cp : copy_state) =
+  List.iter
+    (fun sql ->
+      match Cdbs_sql.Parser.parse sql with
+      | exception Cdbs_sql.Parser.Parse_error _ -> ()
+      | stmt ->
+          ignore (Executor.execute cp.staging stmt);
+          mig.mig_replayed <- mig.mig_replayed + 1)
+    (List.rev cp.cp_deltas);
+  (match
+     Database.install_table ~src:cp.staging
+       ~dst:t.backends.(cp.cp_dest).db cp.cp_table
+   with
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("Controller.cutover: " ^ e));
+  mig.mig_done <- mig.mig_done + 1;
+  mig.mig_in_flight <- None
+
+(* Contract phase: every copy has cut over, so dropping the surplus copies
+   can no longer strand a query class without a live replica. *)
+let finish_migration t (mig : migration_state) =
+  List.iter
+    (fun (d : Planner.drop) ->
+      match d.Planner.victim.Fragment.kind with
+      | Fragment.Table name ->
+          Database.drop_table t.backends.(d.Planner.at_backend).db name
+      | Fragment.Column { table; _ } | Fragment.Range { table; _ } ->
+          Database.drop_table t.backends.(d.Planner.at_backend).db table)
+    mig.mig_plan.Planner.drops;
+  t.allocation <- Some mig.mig_target;
+  t.migration <- None
+
+(* Ship [budget] megabytes of copy work.  Leftover budget flows into the
+   next queued copy; snapshots are taken lazily when a copy starts. *)
+let advance_migration t ~budget =
+  match t.migration with
+  | None -> ()
+  | Some mig ->
+      let budget = ref budget in
+      let continue_ = ref true in
+      while !continue_ do
+        (match mig.mig_in_flight with
+        | None -> (
+            match mig.mig_pending with
+            | [] ->
+                finish_migration t mig;
+                continue_ := false
+            | mv :: rest ->
+                mig.mig_pending <- rest;
+                let table = table_of_move mv in
+                let staging =
+                  Database.create_partial t.schema ~tables:[ table ]
+                in
+                (match
+                   Database.copy_table_into ~src:t.master ~dst:staging table
+                 with
+                | Ok _ -> ()
+                | Error e ->
+                    invalid_arg ("Controller.advance_migration: " ^ e));
+                mig.mig_in_flight <-
+                  Some
+                    {
+                      cp_dest = mv.Planner.dest;
+                      cp_table = table;
+                      cp_size = mv.Planner.size;
+                      staging;
+                      cp_shipped = 0.;
+                      cp_deltas = [];
+                    })
+        | Some cp ->
+            let room = cp.cp_size -. cp.cp_shipped in
+            if !budget >= room then begin
+              budget := !budget -. room;
+              cp.cp_shipped <- cp.cp_size;
+              mig.mig_shipped <- mig.mig_shipped +. room;
+              cutover t mig cp
+            end
+            else begin
+              cp.cp_shipped <- cp.cp_shipped +. !budget;
+              mig.mig_shipped <- mig.mig_shipped +. !budget;
+              budget := 0.;
+              continue_ := false
+            end)
+      done
+
 let submit t sql =
   match Cdbs_sql.Parser.parse sql with
   | exception Cdbs_sql.Parser.Parse_error m -> Error ("parse error: " ^ m)
@@ -105,9 +235,21 @@ let submit t sql =
       Journal.record_at t.journal ~at:t.clock ~sql ~cost;
       t.processed <- t.processed + 1;
       t.total_cost <- t.total_cost +. cost;
+      (* The background copier ships its per-request budget: the rebalance
+         makes progress exactly while the system keeps serving. *)
+      (match t.migration with
+      | Some mig -> advance_migration t ~budget:mig.mig_bandwidth
+      | None -> ());
       if fp.Analyze.is_update then begin
         (* Updated tables get fresh statistics on next use. *)
         List.iter (Hashtbl.remove t.stats_cache) fp.Analyze.tables;
+        (* An update hitting a table whose snapshot is on the wire goes to
+           the delta journal and is replayed before that copy cuts over. *)
+        (match t.migration with
+        | Some { mig_in_flight = Some cp; _ }
+          when List.mem cp.cp_table fp.Analyze.tables ->
+            cp.cp_deltas <- sql :: cp.cp_deltas
+        | _ -> ());
         (* ROWA: run on the master and every backend holding the table. *)
         let result = Executor.execute t.master stmt in
         Array.iter
@@ -148,7 +290,10 @@ let backend_tables t =
 
 let stats t = (t.processed, t.total_cost)
 
-let reallocate t ?(iterations = 40) () =
+(* Classify the history and compute the next allocation, plus the fragment
+   sets describing what each backend stores right now — shared by the
+   offline rebuild and the live migration paths. *)
+let compute_target t ~iterations =
   if Journal.length t.journal = 0 then Error "empty query history"
   else begin
     let size_of =
@@ -163,7 +308,6 @@ let reallocate t ?(iterations = 40) () =
       { Memetic.default_params with Memetic.iterations }
     in
     let alloc = Memetic.allocate ~params ~rng:t.rng workload backends in
-    (* Match against the current physical placement. *)
     let current_sets =
       Array.to_list
         (Array.map
@@ -176,6 +320,15 @@ let reallocate t ?(iterations = 40) () =
                (Database.table_names st.db))
            t.backends)
     in
+    Ok (alloc, current_sets)
+  end
+
+let reallocate t ?(iterations = 40) () =
+  if t.migration <> None then Error "a live migration is in progress"
+  else
+  match compute_target t ~iterations with
+  | Error e -> Error e
+  | Ok (alloc, current_sets) ->
     let plan = Physical.plan_scaled ~old_fragments:current_sets alloc in
     (* Rebuild each physical node with exactly the tables of the new
        backend mapped onto it. *)
@@ -203,4 +356,75 @@ let reallocate t ?(iterations = 40) () =
       plan.Physical.mapping;
     t.allocation <- Some alloc;
     Ok plan.Physical.transfer
-  end
+
+(* ------------------------------------------------------------------ *)
+(* Live migration entry points                                         *)
+(* ------------------------------------------------------------------ *)
+
+let begin_reallocate_live t ?(iterations = 40) ?(bandwidth_mb_per_request = 5.)
+    () =
+  if t.migration <> None then Error "a live migration is already in progress"
+  else if bandwidth_mb_per_request <= 0. then
+    Error "bandwidth must be positive"
+  else
+    match compute_target t ~iterations with
+    | Error e -> Error e
+    | Ok (alloc, current_sets) ->
+        let plan = Planner.make ~old_fragments:current_sets alloc in
+        t.migration <-
+          Some
+            {
+              mig_target = alloc;
+              mig_plan = plan;
+              mig_pending = plan.Planner.moves;
+              mig_in_flight = None;
+              mig_bandwidth = bandwidth_mb_per_request;
+              mig_shipped = 0.;
+              mig_done = 0;
+              mig_replayed = 0;
+            };
+        (* A placement already matching the target completes immediately. *)
+        if Planner.is_noop plan then
+          advance_migration t ~budget:bandwidth_mb_per_request;
+        Ok plan
+
+let migration_progress t =
+  match t.migration with
+  | None -> None
+  | Some mig ->
+      Some
+        {
+          tables_total = List.length mig.mig_plan.Planner.moves;
+          tables_done = mig.mig_done;
+          mb_total = mig.mig_plan.Planner.copy_mb;
+          mb_shipped = mig.mig_shipped;
+          delta_pending =
+            (match mig.mig_in_flight with
+            | Some cp -> List.length cp.cp_deltas
+            | None -> 0);
+          replayed_statements = mig.mig_replayed;
+        }
+
+let is_migrating t = t.migration <> None
+
+let drive_migration t ?budget_mb () =
+  match t.migration with
+  | None -> ()
+  | Some mig ->
+      let budget =
+        match budget_mb with
+        | Some b -> b
+        | None ->
+            (* Run the rebalance to completion. *)
+            mig.mig_plan.Planner.copy_mb +. 1.
+      in
+      advance_migration t ~budget
+
+let reallocate_live t ?iterations ?bandwidth_mb_per_request () =
+  match begin_reallocate_live t ?iterations ?bandwidth_mb_per_request () with
+  | Error e -> Error e
+  | Ok plan ->
+      while t.migration <> None do
+        drive_migration t ()
+      done;
+      Ok plan.Planner.copy_mb

@@ -41,7 +41,59 @@ val reallocate : t -> ?iterations:int -> unit -> (float, string) result
 (** Allocation mode: classify the history at table granularity, run greedy
     plus memetic improvement, deploy via Hungarian matching and bulk table
     copies.  Returns the total megabytes shipped.  Fails when the history
-    is empty. *)
+    is empty or a live migration is in progress.  This is the
+    stop-the-world path; see {!reallocate_live} for the online one. *)
+
+(** {1 Live migration}
+
+    The online deployment path: the same Hungarian-matched target as
+    {!reallocate}, executed as an ordered sequence of per-table snapshot
+    copies while the controller keeps serving.  Each {!submit} ships the
+    configured bandwidth budget of copy work; updates touching a table
+    whose snapshot is on the wire are captured and replayed just before
+    that table cuts over on its destination.  Surplus copies are dropped
+    only after every copy has cut over (expand-then-contract), so no table
+    — and hence no query class — ever loses its last serving replica. *)
+
+type migration_progress = {
+  tables_total : int;  (** copies the plan calls for *)
+  tables_done : int;  (** copies already cut over *)
+  mb_total : float;  (** total megabytes to ship *)
+  mb_shipped : float;  (** megabytes shipped so far *)
+  delta_pending : int;  (** captured statements awaiting replay *)
+  replayed_statements : int;  (** delta statements replayed so far *)
+}
+
+val begin_reallocate_live :
+  t ->
+  ?iterations:int ->
+  ?bandwidth_mb_per_request:float ->
+  unit ->
+  (Cdbs_migration.Planner.plan, string) result
+(** Start a live reallocation (default throttle: 5 MB of copy work per
+    submitted request).  Returns the migration plan; the copy work itself
+    is performed incrementally by subsequent {!submit} calls and
+    {!drive_migration}. *)
+
+val is_migrating : t -> bool
+
+val migration_progress : t -> migration_progress option
+(** [None] when no migration is active. *)
+
+val drive_migration : t -> ?budget_mb:float -> unit -> unit
+(** Pump the background copier without submitting a request — e.g. to let
+    an idle system finish its rebalance.  Without [budget_mb] the whole
+    remaining migration completes. *)
+
+val reallocate_live :
+  t ->
+  ?iterations:int ->
+  ?bandwidth_mb_per_request:float ->
+  unit ->
+  (float, string) result
+(** {!begin_reallocate_live} driven straight to completion; returns the
+    megabytes shipped.  Equivalent to the offline {!reallocate} in outcome
+    but exercises the snapshot / delta-replay / cutover pipeline. *)
 
 val stats : t -> int * float
 (** [(processed, total_cost)]: requests processed and their accumulated

@@ -8,34 +8,79 @@ type t = {
   class_by_id : (string, Query_class.t) Hashtbl.t;
   free_at : float array;
   up : bool array;
+  live : Fragment.Set.t array;
+      (* fragments each physical node currently serves; in static mode this
+         mirrors the allocation's placement *)
+  dynamic : bool;
+      (* dynamic mode routes purely by live fragment sets (the placement is
+         in motion and assignment weights refer to the target) *)
 }
 
-let create alloc =
+let class_table alloc =
   let class_by_id = Hashtbl.create 32 in
   Array.iter
     (fun c -> Hashtbl.replace class_by_id c.Query_class.id c)
     (Allocation.classes alloc);
+  class_by_id
+
+let create alloc =
+  let n = Allocation.num_backends alloc in
   {
     alloc;
-    class_by_id;
-    free_at = Array.make (Allocation.num_backends alloc) 0.;
-    up = Array.make (Allocation.num_backends alloc) true;
+    class_by_id = class_table alloc;
+    free_at = Array.make n 0.;
+    up = Array.make n true;
+    live = Array.init n (Allocation.fragments_of alloc);
+    dynamic = false;
   }
+
+let create_dynamic alloc ~live =
+  let n = Array.length live in
+  if n = 0 then invalid_arg "Scheduler.create_dynamic: no nodes";
+  {
+    alloc;
+    class_by_id = class_table alloc;
+    free_at = Array.make n 0.;
+    up = Array.make n true;
+    live = Array.map (fun s -> s) live;
+    dynamic = true;
+  }
+
+let num_nodes t = Array.length t.live
+let live_fragments t ~backend = t.live.(backend)
+
+let add_live t ~backend fragments =
+  t.live.(backend) <- Fragment.Set.union t.live.(backend) fragments
+
+let remove_live t ~backend fragments =
+  t.live.(backend) <- Fragment.Set.diff t.live.(backend) fragments
+
+let serves t b (c : Query_class.t) =
+  Fragment.Set.subset c.Query_class.fragments t.live.(b)
+
+let live_replicas t c =
+  let n = ref 0 in
+  for b = 0 to num_nodes t - 1 do
+    if t.up.(b) && serves t b c then incr n
+  done;
+  !n
 
 (* The schema records which backends a class was assigned to; the scheduler
    routes among those.  Backends that merely happen to hold the data (e.g.
    k-safety standby replicas) are used only when no assigned backend
-   exists. *)
+   exists.  In dynamic mode the placement is mid-migration, so routing
+   relies on the live fragment sets alone. *)
 let eligible_for_read t c =
-  let all = List.init (Allocation.num_backends t.alloc) (fun b -> b) in
-  let assigned =
-    List.filter
-      (fun b -> t.up.(b) && Allocation.get_assign t.alloc b c > 0.)
-      all
-  in
-  if assigned <> [] then assigned
+  let all = List.init (num_nodes t) (fun b -> b) in
+  if t.dynamic then List.filter (fun b -> t.up.(b) && serves t b c) all
   else
-    List.filter (fun b -> t.up.(b) && Allocation.holds t.alloc b c) all
+    let assigned =
+      List.filter
+        (fun b -> t.up.(b) && Allocation.get_assign t.alloc b c > 0.)
+        all
+    in
+    if assigned <> [] then assigned
+    else List.filter (fun b -> t.up.(b) && Allocation.holds t.alloc b c) all
 
 let targets_for_update t (c : Query_class.t) =
   List.filter
@@ -43,9 +88,8 @@ let targets_for_update t (c : Query_class.t) =
       t.up.(b)
       && not
            (Fragment.Set.is_empty
-              (Fragment.Set.inter c.Query_class.fragments
-                 (Allocation.fragments_of t.alloc b))))
-    (List.init (Allocation.num_backends t.alloc) (fun b -> b))
+              (Fragment.Set.inter c.Query_class.fragments t.live.(b))))
+    (List.init (num_nodes t) (fun b -> b))
 
 let set_down t ~backend = t.up.(backend) <- false
 let is_up t ~backend = t.up.(backend)

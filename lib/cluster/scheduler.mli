@@ -12,6 +12,26 @@ val create : Cdbs_core.Allocation.t -> t
     the fragment sets, so a zero-weight k-safety replica also serves its
     class. *)
 
+val create_dynamic :
+  Cdbs_core.Allocation.t -> live:Cdbs_core.Fragment.Set.t array -> t
+(** Scheduler for a placement in motion (live migration): [live] lists the
+    fragments each physical node serves {e right now} and may be longer
+    than the allocation's backend count (decommissioning / fresh nodes).
+    Routing uses the live sets only — the allocation supplies the query
+    classes; its assignment weights describe the target, not the present,
+    and are ignored.  Use {!add_live} / {!remove_live} at cutover and drop
+    events. *)
+
+val num_nodes : t -> int
+(** Physical nodes under management ([= Array.length live]). *)
+
+val live_fragments : t -> backend:int -> Cdbs_core.Fragment.Set.t
+val add_live : t -> backend:int -> Cdbs_core.Fragment.Set.t -> unit
+val remove_live : t -> backend:int -> Cdbs_core.Fragment.Set.t -> unit
+
+val live_replicas : t -> Cdbs_core.Query_class.t -> int
+(** Up nodes whose live set contains every fragment of the class. *)
+
 val eligible_for_read : t -> Cdbs_core.Query_class.t -> int list
 val targets_for_update : t -> Cdbs_core.Query_class.t -> int list
 

@@ -1,5 +1,9 @@
 module Allocation = Cdbs_core.Allocation
 module Query_class = Cdbs_core.Query_class
+module Fragment = Cdbs_core.Fragment
+module Planner = Cdbs_migration.Planner
+module Schedule = Cdbs_migration.Schedule
+module Delta = Cdbs_migration.Delta
 
 type config = {
   cost : Cost_model.params;
@@ -40,10 +44,29 @@ let class_mb alloc (r : Request.t) =
       | Some c -> Query_class.size c
       | None -> 0.)
 
+(* Open-mode runs trust arrival order; a caller handing over an unsorted
+   list would silently simulate time running backwards (requests "arriving"
+   before the clock reached them never queue).  Detect and stably sort
+   instead. *)
+let sorted_by_arrival requests =
+  let rec is_sorted = function
+    | (a : Request.t) :: (b :: _ as rest) ->
+        a.Request.arrival <= b.Request.arrival && is_sorted rest
+    | _ -> true
+  in
+  if is_sorted requests then requests
+  else
+    List.stable_sort
+      (fun (a : Request.t) b -> Float.compare a.Request.arrival b.Request.arrival)
+      requests
+
 let run ?(failures = []) ~respect_arrivals config alloc requests =
   let n = Allocation.num_backends alloc in
   if Array.length config.speeds <> n then
     invalid_arg "Simulator.run: speeds length <> backend count";
+  let requests =
+    if respect_arrivals then sorted_by_arrival requests else requests
+  in
   let sched = Scheduler.create alloc in
   let pending_failures =
     ref (List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) failures)
@@ -139,3 +162,228 @@ let run_open config alloc requests =
 
 let run_open_with_failures config alloc requests ~failures =
   run ~failures ~respect_arrivals:true config alloc requests
+
+(* ------------------------------------------------------------------ *)
+(* Open-mode execution during a live migration                         *)
+(* ------------------------------------------------------------------ *)
+
+type migration_outcome = {
+  run : outcome;
+  copied_mb : float;
+  replayed_mb : float;
+  copy_done : float;
+  drops_at : float;
+  min_live_replicas : (string * int) list;
+  target_deployed : bool;
+  responses : (float * float) list;
+}
+
+(* Migration events in time order; at equal instants a copy opens before
+   its own (zero-length) cutover, and the drop barrier comes last. *)
+type mig_event =
+  | Copy_start of Schedule.timed_move
+  | Cutover of Schedule.timed_move
+  | Drop_all
+
+let run_open_with_migration ?(copy_slowdown = 0.25) config ~target ~schedule
+    requests =
+  let plan = schedule.Schedule.plan in
+  let n = plan.Planner.num_physical in
+  if Array.length config.speeds <> n then
+    invalid_arg
+      "Simulator.run_open_with_migration: speeds length <> physical nodes";
+  let requests = sorted_by_arrival requests in
+  let sched = Scheduler.create_dynamic target ~live:plan.Planner.old_sets in
+  let delta : unit Delta.t = Delta.create () in
+  let busy = Array.make n 0. in
+  let completed = ref 0 and errors = ref 0 in
+  let response_sum = ref 0. and response_max = ref 0. in
+  let responses = ref [] in
+  let replayed_mb = ref 0. in
+  let classes = Array.to_list (Allocation.classes target) in
+  let mins =
+    List.map (fun c -> (c, ref (Scheduler.live_replicas sched c))) classes
+  in
+  let observe_mins () =
+    List.iter
+      (fun (c, m) ->
+        let r = Scheduler.live_replicas sched c in
+        if r < !m then m := r)
+      mins
+  in
+  let event_time = function
+    | Copy_start tm -> tm.Schedule.start
+    | Cutover tm -> tm.Schedule.finish
+    | Drop_all -> schedule.Schedule.drops_at
+  in
+  let event_rank = function Copy_start _ -> 0 | Cutover _ -> 1 | Drop_all -> 2 in
+  let events =
+    ref
+      (List.stable_sort
+         (fun a b ->
+           let c = Float.compare (event_time a) (event_time b) in
+           if c <> 0 then c else Int.compare (event_rank a) (event_rank b))
+         (Drop_all
+         :: List.concat_map
+              (fun tm -> [ Copy_start tm; Cutover tm ])
+              schedule.Schedule.moves))
+  in
+  let apply_event = function
+    | Copy_start tm ->
+        Delta.open_capture delta ~dest:tm.Schedule.move.Planner.dest
+          ~fragment:tm.Schedule.move.Planner.fragment
+    | Cutover tm ->
+        let dest = tm.Schedule.move.Planner.dest in
+        let fragment = tm.Schedule.move.Planner.fragment in
+        let _, mb = Delta.drain delta ~dest ~fragment in
+        (* Replay the captured deltas on the destination before the
+           fragment goes live there: foreground work on its queue. *)
+        if mb > 0. then begin
+          let replay =
+            mb *. config.cost.Cost_model.scan_seconds_per_mb
+            /. config.speeds.(dest)
+          in
+          let start =
+            max tm.Schedule.finish (Scheduler.free_at sched ~backend:dest)
+          in
+          Scheduler.book sched ~backend:dest ~finish:(start +. replay);
+          busy.(dest) <- busy.(dest) +. replay;
+          replayed_mb := !replayed_mb +. mb
+        end;
+        Scheduler.add_live sched ~backend:dest
+          (Fragment.Set.singleton fragment)
+    | Drop_all ->
+        List.iter
+          (fun (d : Planner.drop) ->
+            Scheduler.remove_live sched ~backend:d.Planner.at_backend
+              (Fragment.Set.singleton d.Planner.victim))
+          plan.Planner.drops
+  in
+  let rec apply_events now =
+    match !events with
+    | e :: rest when event_time e <= now ->
+        events := rest;
+        apply_event e;
+        observe_mins ();
+        apply_events now
+    | _ -> ()
+  in
+  List.iter
+    (fun (r : Request.t) ->
+      let now = r.Request.arrival in
+      apply_events now;
+      match Scheduler.route sched ~now r with
+      | Error _ -> incr errors
+      | Ok targets ->
+          let mb = class_mb target r in
+          (* Updates arriving while a referenced fragment is on the wire
+             go to the delta journal and are replayed at cutover. *)
+          if r.Request.is_update then begin
+            match find_class target r.Request.class_id with
+            | Some c ->
+                let frags = c.Query_class.fragments in
+                let per_fragment =
+                  mb /. float_of_int (max 1 (Fragment.Set.cardinal frags))
+                in
+                Fragment.Set.iter
+                  (fun f ->
+                    ignore
+                      (Delta.capture delta ~fragment:f ~item:()
+                         ~mb:per_fragment))
+                  frags
+            | None -> ()
+          end;
+          let split =
+            if r.Request.is_update then Protocol.plan config.protocol ~targets
+            else { Protocol.sync = targets; async = [] }
+          in
+          let replicas =
+            if r.Request.is_update then List.length split.Protocol.sync else 1
+          in
+          let serve b ~factor =
+            (* Background copy I/O contends with foreground work on the
+               nodes it touches. *)
+            let contention =
+              if Schedule.copying schedule ~backend:b ~at:now then
+                1. +. copy_slowdown
+              else 1.
+            in
+            let service =
+              factor *. contention
+              *. Cost_model.service_time config.cost ~class_mb:mb
+                   ~resident_mb:
+                     (Fragment.set_size
+                        (Scheduler.live_fragments sched ~backend:b))
+                   ~speed:config.speeds.(b) ~is_update:r.Request.is_update
+                   ~replicas
+            in
+            let start = max now (Scheduler.free_at sched ~backend:b) in
+            let finish = start +. service in
+            Scheduler.book sched ~backend:b ~finish;
+            busy.(b) <- busy.(b) +. service;
+            finish
+          in
+          let finish_all = ref 0. in
+          List.iter
+            (fun b ->
+              let finish = serve b ~factor:1. in
+              if finish > !finish_all then finish_all := finish)
+            split.Protocol.sync;
+          List.iter
+            (fun (b, factor) -> ignore (serve b ~factor))
+            split.Protocol.async;
+          incr completed;
+          let response = !finish_all -. now in
+          response_sum := !response_sum +. response;
+          if response > !response_max then response_max := response;
+          responses := (now, response) :: !responses)
+    requests;
+  (* Requests may dry up before the rebalance completes: finish it. *)
+  apply_events infinity;
+  let makespan =
+    let m = ref 0. in
+    for b = 0 to n - 1 do
+      if Scheduler.free_at sched ~backend:b > !m then
+        m := Scheduler.free_at sched ~backend:b
+    done;
+    !m
+  in
+  let target_deployed =
+    let ok = ref true in
+    for b = 0 to n - 1 do
+      if
+        not
+          (Fragment.Set.equal
+             (Scheduler.live_fragments sched ~backend:b)
+             plan.Planner.target_sets.(b))
+      then ok := false
+    done;
+    !ok
+  in
+  {
+    run =
+      {
+        completed = !completed;
+        makespan;
+        throughput =
+          (if makespan > 0. then float_of_int !completed /. makespan else 0.);
+        avg_response =
+          (if !completed > 0 then !response_sum /. float_of_int !completed
+           else 0.);
+        max_response = !response_max;
+        busy;
+        utilization =
+          Array.map (fun b -> if makespan > 0. then b /. makespan else 0.) busy;
+        errors = !errors;
+      };
+    copied_mb = plan.Planner.copy_mb;
+    replayed_mb = !replayed_mb;
+    copy_done = schedule.Schedule.copy_done;
+    drops_at = schedule.Schedule.drops_at;
+    min_live_replicas =
+      List.map
+        (fun ((c : Query_class.t), m) -> (c.Query_class.id, !m))
+        mins;
+    target_deployed;
+    responses = List.rev !responses;
+  }

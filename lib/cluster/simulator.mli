@@ -41,8 +41,9 @@ val run_batch :
 
 val run_open :
   config -> Cdbs_core.Allocation.t -> Request.t list -> outcome
-(** Requests dispatched at their [arrival] timestamps (list must be sorted
-    by arrival). *)
+(** Requests dispatched at their [arrival] timestamps.  An unsorted list is
+    detected and stably sorted by arrival first — open-mode time never runs
+    backwards regardless of caller ordering. *)
 
 val run_open_with_failures :
   config ->
@@ -58,3 +59,38 @@ val run_open_with_failures :
 val class_mb : Cdbs_core.Allocation.t -> Request.t -> float
 (** The megabytes a request's class scans (its fragment footprint, or the
     request's override). *)
+
+(** {1 Live migration} *)
+
+type migration_outcome = {
+  run : outcome;  (** request-level outcome over the whole run *)
+  copied_mb : float;  (** background copy volume (= the plan's transfer) *)
+  replayed_mb : float;  (** delta-journal volume replayed at cutovers *)
+  copy_done : float;  (** when the last copy finished *)
+  drops_at : float;  (** when the contract barrier released the old copies *)
+  min_live_replicas : (string * int) list;
+      (** per query class, the minimum number of simultaneously live full
+          replicas observed at any point of the run — the k-safety audit *)
+  target_deployed : bool;
+      (** every physical node's final live set equals the plan's target *)
+  responses : (float * float) list;
+      (** per completed request, [(arrival, response)] in arrival order —
+          the raw material of the degradation timeline *)
+}
+
+val run_open_with_migration :
+  ?copy_slowdown:float ->
+  config ->
+  target:Cdbs_core.Allocation.t ->
+  schedule:Cdbs_migration.Schedule.t ->
+  Request.t list ->
+  migration_outcome
+(** Open-mode replay {e while} the schedule's rebalance executes in the
+    background.  Routing follows the live fragment sets: nodes start with
+    the plan's old placement, gain fragments at each copy's cutover (after
+    replaying the deltas captured while the copy was on the wire) and shed
+    the no-longer-needed copies at the final drop barrier.  Foreground
+    service on a node actively copying (as source or destination) is
+    inflated by [copy_slowdown] (default 0.25).  [config.speeds] must cover
+    the plan's [num_physical] nodes.  Requests must reference classes of
+    the [target] allocation's workload. *)

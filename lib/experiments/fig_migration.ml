@@ -1,0 +1,147 @@
+module Trace = Cdbs_workloads.Trace
+module Spec = Cdbs_workloads.Spec
+module Greedy = Cdbs_core.Greedy
+module Backend = Cdbs_core.Backend
+module Allocation = Cdbs_core.Allocation
+module Planner = Cdbs_migration.Planner
+module Schedule = Cdbs_migration.Schedule
+module Simulator = Cdbs_cluster.Simulator
+module Request = Cdbs_cluster.Request
+module Rng = Cdbs_util.Rng
+
+type point = {
+  t0 : float;
+  t1 : float;
+  avg_ms : float;
+  n : int;
+  phase : string;
+}
+
+type report = {
+  timeline : point list;
+  copy_start : float;
+  copy_done : float;
+  copied_mb : float;
+  full_rebuild_mb : float;
+  replayed_mb : float;
+  before_ms : float;
+  during_ms : float;
+  after_ms : float;
+  errors : int;
+  min_live_replicas : int;
+  target_deployed : bool;
+}
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let allocations ~nodes ~from_hour ~to_hour =
+  (* The cluster still runs the off-peak allocation when the new mix hits. *)
+  let old_alloc =
+    Greedy.allocate (Trace.workload_at ~hour:from_hour)
+      (Backend.homogeneous nodes)
+  in
+  let target =
+    Greedy.allocate (Trace.workload_at ~hour:to_hour)
+      (Backend.homogeneous nodes)
+  in
+  (old_alloc, target)
+
+let plan ?(nodes = 4) ?(from_hour = 4.) ?(to_hour = 14.) () =
+  let old_alloc, target = allocations ~nodes ~from_hour ~to_hour in
+  let old_fragments = List.init nodes (Allocation.fragments_of old_alloc) in
+  Planner.make ~old_fragments target
+
+let scenario ?(nodes = 4) ?(bandwidth = 2.) ?(rate_per_s = 40.)
+    ?(duration = 600.) ?(migrate_at = 150.) ?(buckets = 20) ?(seed = 11)
+    ?(from_hour = 4.) ?(to_hour = 14.) () =
+  let rng = Rng.create seed in
+  let old_alloc, target = allocations ~nodes ~from_hour ~to_hour in
+  let old_fragments =
+    List.init nodes (Allocation.fragments_of old_alloc)
+  in
+  let plan = Planner.make ~old_fragments target in
+  let schedule = Schedule.make ~start:migrate_at ~bandwidth plan in
+  let n = int_of_float (rate_per_s *. duration) in
+  let requests =
+    List.map
+      (fun (r : Request.t) ->
+        { r with Request.arrival = Rng.float rng duration })
+      (Spec.requests ~rng ~n (Trace.specs_at ~hour:to_hour))
+  in
+  let config = Simulator.homogeneous_config plan.Planner.num_physical in
+  let mo = Simulator.run_open_with_migration config ~target ~schedule requests in
+  let copy_done = mo.Simulator.copy_done in
+  let phase_of at =
+    if at < migrate_at then "before"
+    else if at < copy_done then "copy"
+    else "after"
+  in
+  let width = duration /. float_of_int buckets in
+  let sums = Array.make buckets 0. and counts = Array.make buckets 0 in
+  List.iter
+    (fun (arrival, response) ->
+      let b = min (buckets - 1) (int_of_float (arrival /. width)) in
+      sums.(b) <- sums.(b) +. response;
+      counts.(b) <- counts.(b) + 1)
+    mo.Simulator.responses;
+  let timeline =
+    List.init buckets (fun b ->
+        let t0 = float_of_int b *. width in
+        {
+          t0;
+          t1 = t0 +. width;
+          avg_ms =
+            (if counts.(b) > 0 then 1000. *. sums.(b) /. float_of_int counts.(b)
+             else 0.);
+          n = counts.(b);
+          phase = phase_of (t0 +. (width /. 2.));
+        })
+  in
+  let in_phase p =
+    List.filter_map
+      (fun (arrival, response) ->
+        if phase_of arrival = p then Some response else None)
+      mo.Simulator.responses
+  in
+  {
+    timeline;
+    copy_start = migrate_at;
+    copy_done;
+    copied_mb = mo.Simulator.copied_mb;
+    full_rebuild_mb = plan.Planner.full_rebuild_mb;
+    replayed_mb = mo.Simulator.replayed_mb;
+    before_ms = 1000. *. mean (in_phase "before");
+    during_ms = 1000. *. mean (in_phase "copy");
+    after_ms = 1000. *. mean (in_phase "after");
+    errors = mo.Simulator.run.Simulator.errors;
+    min_live_replicas =
+      List.fold_left
+        (fun acc (_, m) -> min acc m)
+        max_int mo.Simulator.min_live_replicas;
+    target_deployed = mo.Simulator.target_deployed;
+  }
+
+let print_all () =
+  Common.header "Live migration: response-time timeline during a rebalance";
+  let r = scenario () in
+  Fmt.pr "%10s%10s%12s%8s  %s@." "from(s)" "to(s)" "resp(ms)" "req" "phase";
+  List.iter
+    (fun p ->
+      Fmt.pr "%10.0f%10.0f%12.2f%8d  %s@." p.t0 p.t1 p.avg_ms p.n p.phase)
+    r.timeline;
+  Fmt.pr
+    "copy phase %.0fs - %.0fs; response before %.2f ms, during copy %.2f ms, \
+     after %.2f ms@."
+    r.copy_start r.copy_done r.before_ms r.during_ms r.after_ms;
+  Fmt.pr
+    "shipped %.1f MB live (full rebuild would ship %.1f MB, %.0f%% saved), \
+     replayed %.2f MB of deltas@."
+    r.copied_mb r.full_rebuild_mb
+    (100. *. (1. -. (r.copied_mb /. r.full_rebuild_mb)))
+    r.replayed_mb;
+  Fmt.pr
+    "routing errors: %d, min live replicas per class: %d, target deployed: \
+     %b@."
+    r.errors r.min_live_replicas r.target_deployed

@@ -1,0 +1,171 @@
+open Cdbs_core
+
+type move = {
+  fragment : Fragment.t;
+  dest : int;
+  source : int option;
+  size : float;
+}
+
+type drop = {
+  victim : Fragment.t;
+  at_backend : int;
+}
+
+type plan = {
+  physical : Physical.plan;
+  dest_of_new : int array;
+  num_physical : int;
+  old_sets : Fragment.Set.t array;
+  target_sets : Fragment.Set.t array;
+  moves : move list;
+  drops : drop list;
+  copy_mb : float;
+  full_rebuild_mb : float;
+}
+
+let make ~old_fragments target =
+  let nv = Allocation.num_backends target in
+  let nu = List.length old_fragments in
+  let old_arr = Array.of_list old_fragments in
+  let physical = Physical.plan_scaled ~old_fragments target in
+  let num_physical = max nu nv in
+  (* Logical target backend v runs on the matched old node, or on the next
+     fresh physical index when matched to a virtual (empty) old node. *)
+  let next_fresh = ref nu in
+  let dest_of_new =
+    Array.init nv (fun v ->
+        let u = physical.Physical.mapping.(v) in
+        if u >= 0 then u
+        else begin
+          let p = !next_fresh in
+          incr next_fresh;
+          p
+        end)
+  in
+  let old_sets =
+    Array.init num_physical (fun p ->
+        if p < nu then old_arr.(p) else Fragment.Set.empty)
+  in
+  let target_sets = Array.make num_physical Fragment.Set.empty in
+  Array.iteri
+    (fun v p -> target_sets.(p) <- Allocation.fragments_of target v)
+    dest_of_new;
+  (* A copy for every fragment a physical node needs but does not hold;
+     the source is any running node that already stores the fragment. *)
+  let source_of f =
+    let rec go p =
+      if p >= nu then None
+      else if Fragment.Set.mem f old_sets.(p) then Some p
+      else go (p + 1)
+    in
+    go 0
+  in
+  let moves = ref [] in
+  for p = 0 to num_physical - 1 do
+    Fragment.Set.iter
+      (fun f ->
+        moves :=
+          { fragment = f; dest = p; source = source_of f; size = f.Fragment.size }
+          :: !moves)
+      (Fragment.Set.diff target_sets.(p) old_sets.(p))
+  done;
+  let moves =
+    List.sort
+      (fun a b ->
+        let c = Float.compare a.size b.size in
+        if c <> 0 then c
+        else
+          let c = Fragment.compare a.fragment b.fragment in
+          if c <> 0 then c else Int.compare a.dest b.dest)
+      !moves
+  in
+  let drops = ref [] in
+  for p = num_physical - 1 downto 0 do
+    Fragment.Set.iter
+      (fun f -> drops := { victim = f; at_backend = p } :: !drops)
+      (Fragment.Set.diff old_sets.(p) target_sets.(p))
+  done;
+  let copy_mb = List.fold_left (fun acc m -> acc +. m.size) 0. moves in
+  let full_rebuild_mb =
+    Array.fold_left (fun acc s -> acc +. Fragment.set_size s) 0. target_sets
+  in
+  {
+    physical;
+    dest_of_new;
+    num_physical;
+    old_sets;
+    target_sets;
+    moves;
+    drops = !drops;
+    copy_mb;
+    full_rebuild_mb;
+  }
+
+let is_noop p = p.moves = [] && p.drops = []
+
+let class_replicas live (c : Query_class.t) =
+  Array.fold_left
+    (fun acc set ->
+      if Fragment.Set.subset c.Query_class.fragments set then acc + 1 else acc)
+    0 live
+
+let min_live_replicas ?k:_ plan workload =
+  let classes = Workload.all_classes workload in
+  let live = Array.copy plan.old_sets in
+  let mins =
+    List.map (fun c -> (c, ref (class_replicas live c))) classes
+  in
+  let observe () =
+    List.iter
+      (fun (c, m) ->
+        let r = class_replicas live c in
+        if r < !m then m := r)
+      mins
+  in
+  List.iter
+    (fun mv ->
+      live.(mv.dest) <- Fragment.Set.add mv.fragment live.(mv.dest);
+      observe ())
+    plan.moves;
+  (* Contract phase: all drops land at one barrier. *)
+  List.iter
+    (fun d ->
+      live.(d.at_backend) <- Fragment.Set.remove d.victim live.(d.at_backend))
+    plan.drops;
+  observe ();
+  List.map (fun ((c : Query_class.t), m) -> (c.Query_class.id, !m)) mins
+
+let validate ?(k = 0) plan workload =
+  let classes = Workload.all_classes workload in
+  let initial c = class_replicas plan.old_sets c in
+  let final c = class_replicas plan.target_sets c in
+  let mins = min_live_replicas plan workload in
+  let errs =
+    List.filter_map
+      (fun (c : Query_class.t) ->
+        let m = List.assoc c.Query_class.id mins in
+        let floor = min (k + 1) (min (initial c) (final c)) in
+        if m < floor then
+          Some
+            (Fmt.str "class %s drops to %d live replicas (floor %d)"
+               c.Query_class.id m floor)
+        else if m < 1 && initial c >= 1 && final c >= 1 then
+          Some (Fmt.str "class %s loses its last live replica" c.Query_class.id)
+        else None)
+      classes
+  in
+  match errs with [] -> Ok () | e :: _ -> Error e
+
+let pp_move ppf m =
+  Fmt.pf ppf "%a -> B%d (%s, %.1f MB)" Fragment.pp m.fragment m.dest
+    (match m.source with Some u -> Fmt.str "from B%d" u | None -> "from master")
+    m.size
+
+let pp ppf p =
+  Fmt.pf ppf "migration plan: %d copies (%.1f MB, full rebuild %.1f MB), %d drops@."
+    (List.length p.moves) p.copy_mb p.full_rebuild_mb (List.length p.drops);
+  List.iter (fun m -> Fmt.pf ppf "  copy %a@." pp_move m) p.moves;
+  List.iter
+    (fun d -> Fmt.pf ppf "  drop %a @@ B%d@." Fragment.pp d.victim d.at_backend)
+    p.drops

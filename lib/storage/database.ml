@@ -37,6 +37,31 @@ let insert t name row =
   | None -> Error ("insert: no table " ^ name)
   | Some tbl -> Table.insert tbl row
 
+let install_table ~src ~dst name =
+  match table src name with
+  | None -> Error ("install: source lacks table " ^ name)
+  | Some s -> (
+      match Schema.find_table dst.schema name with
+      | None -> Error ("install: table not in destination schema " ^ name)
+      | Some tbl_schema ->
+          let fresh = Table.create tbl_schema in
+          let count = ref 0 in
+          let error = ref None in
+          Table.iter
+            (fun row ->
+              if !error = None then
+                match Table.insert fresh (Array.copy row) with
+                | Ok () -> incr count
+                | Error e -> error := Some e)
+            s;
+          (match !error with
+          | Some e -> Error e
+          | None ->
+              Hashtbl.replace dst.tables name fresh;
+              Ok !count))
+
+let drop_table t name = Hashtbl.remove t.tables name
+
 let copy_table_into ~src ~dst name =
   match (table src name, table dst name) with
   | None, _ -> Error ("copy: source lacks table " ^ name)

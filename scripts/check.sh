@@ -1,0 +1,13 @@
+#!/bin/sh
+# Local CI gate: mirrors .github/workflows/ci.yml.
+set -eu
+cd "$(dirname "$0")/.."
+
+if git ls-files | grep -E '^_build/|\.install$'; then
+  echo "error: build artifacts are tracked in git" >&2
+  exit 1
+fi
+
+dune build
+dune runtest
+echo "check: OK"

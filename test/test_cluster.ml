@@ -158,6 +158,28 @@ let test_simulator_open_arrivals () =
   Alcotest.(check bool) "makespan spans arrivals" true
     (outcome.Simulator.makespan >= 19.)
 
+let test_simulator_unsorted_arrivals () =
+  (* The same open-mode trace must simulate identically no matter how the
+     request list is ordered: [run_open] sorts by arrival itself. *)
+  let alloc = Greedy.allocate (workload ()) (Backend.homogeneous 2) in
+  let config = Simulator.homogeneous_config 2 in
+  let reqs =
+    List.init 30 (fun i ->
+        Request.read ~arrival:(float_of_int i *. 0.7) ~cost_mb:0.5 "q1")
+  in
+  let shuffled =
+    (* Deterministic scramble: odd arrivals first, then evens reversed. *)
+    List.filteri (fun i _ -> i mod 2 = 1) reqs
+    @ List.rev (List.filteri (fun i _ -> i mod 2 = 0) reqs)
+  in
+  let a = Simulator.run_open config alloc reqs in
+  let b = Simulator.run_open config alloc shuffled in
+  Alcotest.(check (float 1e-9)) "same avg response" a.Simulator.avg_response
+    b.Simulator.avg_response;
+  Alcotest.(check (float 1e-9)) "same makespan" a.Simulator.makespan
+    b.Simulator.makespan;
+  Alcotest.(check int) "same errors" a.Simulator.errors b.Simulator.errors
+
 (* ---------------- controller ---------------- *)
 
 let schema : Cdbs_storage.Schema.t =
@@ -246,6 +268,8 @@ let suite =
       test_simulator_update_limits;
     Alcotest.test_case "simulator: open arrivals" `Quick
       test_simulator_open_arrivals;
+    Alcotest.test_case "simulator: unsorted arrivals" `Quick
+      test_simulator_unsorted_arrivals;
     Alcotest.test_case "controller: end to end" `Quick
       test_controller_end_to_end;
     Alcotest.test_case "controller: reallocation" `Quick

@@ -10,6 +10,7 @@ let () =
       ("physical", Test_physical.suite);
       ("ksafety", Test_ksafety.suite);
       ("cluster", Test_cluster.suite);
+      ("migration", Test_migration.suite);
       ("protocol", Test_protocol.suite);
       ("workloads", Test_workloads.suite);
       ("tpch-sql", Test_tpch_sql.suite);

@@ -102,6 +102,87 @@ let test_duration_monotone () =
   Alcotest.(check bool) "3 nodes slower than 1" true (d 3 > d 1);
   Alcotest.(check bool) "6 nodes slower than 3" true (d 6 > d 3)
 
+let test_plan_roundtrip () =
+  (* Scale 2 -> 3 and straight back: the scale-in must recognize the two
+     surviving nodes already hold their data and ship nothing. *)
+  let w = workload () in
+  let two_node_sets = [ set [ fr "a" ]; set [ fr "b" ] ] in
+  let out = Allocation.create w (Backend.homogeneous 3) in
+  Allocation.add_fragments out 0 (set [ fr "a" ]);
+  Allocation.add_fragments out 1 (set [ fr "b" ]);
+  Allocation.add_fragments out 2 (set [ fr "c" ]);
+  let plan_out = Physical.plan_scaled ~old_fragments:two_node_sets out in
+  Alcotest.(check (float 1e-9)) "scale-out ships only c" 1.
+    plan_out.Physical.transfer;
+  (* Physical state after deploying the scale-out. *)
+  let three_node_sets = List.init 3 (Allocation.fragments_of out) in
+  let back = Allocation.create w (Backend.homogeneous 2) in
+  Allocation.add_fragments back 0 (set [ fr "a" ]);
+  Allocation.add_fragments back 1 (set [ fr "b" ]);
+  let plan_in = Physical.plan_scaled ~old_fragments:three_node_sets back in
+  Alcotest.(check (float 1e-9)) "scale-in is free" 0. plan_in.Physical.transfer;
+  Alcotest.(check (array int)) "survivors keep their data" [| 0; 1 |]
+    plan_in.Physical.mapping
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map
+            (fun p -> x :: p)
+            (permutations (List.filter (( <> ) x) l)))
+        l
+
+let test_plan_bruteforce_optimal () =
+  (* On instances small enough to enumerate every matching, the Hungarian
+     plan must hit the exact optimum, scale-out and scale-in included. *)
+  let rng = Cdbs_util.Rng.create 42 in
+  let pool =
+    [ fr ~size:1. "a"; fr ~size:2. "b"; fr ~size:3. "c"; fr ~size:4. "d" ]
+  in
+  let random_set () =
+    set (List.filter (fun _ -> Cdbs_util.Rng.bool rng) pool)
+  in
+  let w = workload () in
+  for _ = 1 to 60 do
+    let nu = 1 + Cdbs_util.Rng.int rng 4
+    and nv = 1 + Cdbs_util.Rng.int rng 4 in
+    let old_sets = List.init nu (fun _ -> random_set ()) in
+    let alloc = Allocation.create w (Backend.homogeneous nv) in
+    for i = 0 to nv - 1 do
+      Allocation.add_fragments alloc i (random_set ())
+    done;
+    let plan = Physical.plan_scaled ~old_fragments:old_sets alloc in
+    let m = max nu nv in
+    let old_padded =
+      Array.init m (fun i ->
+          if i < nu then List.nth old_sets i else Fragment.Set.empty)
+    in
+    let new_padded =
+      Array.init m (fun j ->
+          if j < nv then Allocation.fragments_of alloc j
+          else Fragment.Set.empty)
+    in
+    let best =
+      List.fold_left
+        (fun acc perm ->
+          let cost =
+            List.fold_left ( +. ) 0.
+              (List.mapi
+                 (fun j i ->
+                   Physical.transfer_cost ~old_fragments:old_padded.(i)
+                     new_padded.(j))
+                 perm)
+          in
+          min acc cost)
+        infinity
+        (permutations (List.init m (fun i -> i)))
+    in
+    Alcotest.(check (float 1e-6)) "matches brute force" best
+      plan.Physical.transfer
+  done
+
 (* Property: matching never costs more than the identity mapping. *)
 let prop_matching_no_worse_than_identity =
   QCheck.Test.make ~count:150 ~name:"hungarian matching beats identity"
@@ -132,6 +213,10 @@ let suite =
       test_plan_scale_out;
     Alcotest.test_case "scale-in consolidates" `Quick test_plan_scale_in;
     Alcotest.test_case "per-backend deltas" `Quick test_deltas;
+    Alcotest.test_case "scale-out/scale-in roundtrip" `Quick
+      test_plan_roundtrip;
+    Alcotest.test_case "matching is brute-force optimal" `Quick
+      test_plan_bruteforce_optimal;
     Alcotest.test_case "duration model monotone" `Quick test_duration_monotone;
     QCheck_alcotest.to_alcotest prop_matching_no_worse_than_identity;
   ]
