@@ -389,6 +389,389 @@ let migrate_cmd =
       $ rate_arg $ duration_arg $ at_arg $ show_plan_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* check — the static plan verifier                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Diag = Cdbs_analysis.Diagnostic
+module Check_w = Cdbs_analysis.Check_workload
+module Check_a = Cdbs_analysis.Check_allocation
+module Check_m = Cdbs_analysis.Check_migration
+
+type check_result = { scenario : string; diagnostics : Diag.t list }
+
+(* The running example of the paper (Sec. 3, Fig. 2) — the configuration
+   examples/quickstart.ml allocates. *)
+let quickstart_workload () =
+  let a = Core.Fragment.table "A" ~size:1. in
+  let b = Core.Fragment.table "B" ~size:1. in
+  let c = Core.Fragment.table "C" ~size:1. in
+  Core.Workload.make
+    ~reads:
+      [
+        Core.Query_class.read "C1" [ a ] ~weight:0.30;
+        Core.Query_class.read "C2" [ b ] ~weight:0.25;
+        Core.Query_class.read "C3" [ c ] ~weight:0.25;
+        Core.Query_class.read "C4" [ a; b ] ~weight:0.20;
+      ]
+    ~updates:[]
+
+(* Deliberate corruptions, so users (and CI smoke tests) can confirm the
+   verifier actually rejects broken artifacts with coded diagnostics. *)
+let inject_allocation_fault fault alloc =
+  let workload = Core.Allocation.workload alloc in
+  let n = Core.Allocation.num_backends alloc in
+  let holds = Core.Allocation.holds alloc in
+  match fault with
+  | `Locality ->
+      let rec find = function
+        | [] -> None
+        | (c : Core.Query_class.t) :: rest ->
+            let rec go b =
+              if b >= n then find rest
+              else if not (holds b c) then begin
+                Core.Allocation.set_assign alloc b c 0.1;
+                Some
+                  (Printf.sprintf "assigned %s to B%d which lacks its data"
+                     c.Core.Query_class.id (b + 1))
+              end
+              else go (b + 1)
+            in
+            go 0
+      in
+      find workload.Core.Workload.reads
+  | `Read_sum ->
+      let rec find = function
+        | [] -> None
+        | (c : Core.Query_class.t) :: rest ->
+            let rec go b =
+              if b >= n then find rest
+              else
+                let w = Core.Allocation.get_assign alloc b c in
+                if w > 1e-6 then begin
+                  Core.Allocation.set_assign alloc b c (w /. 2.);
+                  Some
+                    (Printf.sprintf "halved %s's share on B%d"
+                       c.Core.Query_class.id (b + 1))
+                end
+                else go (b + 1)
+            in
+            go 0
+      in
+      find workload.Core.Workload.reads
+  | `Unpin ->
+      let overlaps b (u : Core.Query_class.t) =
+        not
+          (Core.Fragment.Set.is_empty
+             (Core.Fragment.Set.inter u.Core.Query_class.fragments
+                (Core.Allocation.fragments_of alloc b)))
+      in
+      let rec find = function
+        | [] -> None
+        | (u : Core.Query_class.t) :: rest ->
+            let rec go b =
+              if b >= n then find rest
+              else if overlaps b u then begin
+                Core.Allocation.set_assign alloc b u
+                  (u.Core.Query_class.weight /. 2.);
+                Some
+                  (Printf.sprintf "unpinned update %s on B%d"
+                     u.Core.Query_class.id (b + 1))
+              end
+              else go (b + 1)
+            in
+            go 0
+      in
+      find workload.Core.Workload.updates
+
+let inject_plan_fault (plan : Cdbs_migration.Planner.plan) =
+  match plan.Cdbs_migration.Planner.moves with
+  | [] -> (plan, None)
+  | (m : Cdbs_migration.Planner.move) :: _ ->
+      (* Drop the fragment at the very backend a copy delivers it to: the
+         contract phase now strands the destination short of its target. *)
+      let bogus =
+        {
+          Cdbs_migration.Planner.victim = m.Cdbs_migration.Planner.fragment;
+          at_backend = m.Cdbs_migration.Planner.dest;
+        }
+      in
+      ( {
+          plan with
+          Cdbs_migration.Planner.drops =
+            bogus :: plan.Cdbs_migration.Planner.drops;
+        },
+        Some
+          (Printf.sprintf "added a drop of %s at its copy destination B%d"
+             (Core.Fragment.name m.Cdbs_migration.Planner.fragment)
+             m.Cdbs_migration.Planner.dest) )
+
+let scenario_label name injected =
+  match injected with
+  | None -> name
+  | Some what -> Printf.sprintf "%s [injected fault: %s]" name what
+
+(* Lint a workload and verify the allocation an algorithm produces for it. *)
+let check_allocation_scenario ~name ?schema ?(k = 0) ~workload ~alloc ~fault ()
+    =
+  let workload_diags = Check_w.check ?schema workload in
+  let injected =
+    match fault with Some f -> inject_allocation_fault f alloc | None -> None
+  in
+  let alloc_diags = Check_a.check ~k alloc in
+  {
+    scenario = scenario_label name injected;
+    diagnostics = workload_diags @ alloc_diags;
+  }
+
+let check_migration_scenario ~name ~nodes ~from_hour ~to_hour ~bandwidth
+    ~corrupt () =
+  let target_workload = Cdbs_workloads.Trace.workload_at ~hour:to_hour in
+  let plan =
+    Cdbs_experiments.Fig_migration.plan ~nodes ~from_hour ~to_hour ()
+  in
+  let plan, injected = if corrupt then inject_plan_fault plan else (plan, None) in
+  let plan_diags = Check_m.check_plan ~workload:target_workload plan in
+  let schedule_diags =
+    Check_m.check_schedule (Cdbs_migration.Schedule.make ~bandwidth plan)
+  in
+  {
+    scenario = scenario_label name injected;
+    diagnostics = plan_diags @ schedule_diags;
+  }
+
+let check_cmd =
+  let workload_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:
+            "What to verify: $(b,all) (the shipped example scenarios), or a \
+             single built-in workload $(b,quickstart), $(b,tpch), \
+             $(b,tpcapp), $(b,trace), $(b,timeseries) or $(b,migration).")
+  in
+  let algorithm_arg =
+    Arg.(
+      value & opt algorithm_conv `Greedy
+      & info [ "a"; "algorithm" ] ~docv:"ALG"
+          ~doc:"Allocation algorithm for single-workload checks.")
+  in
+  let ksafety_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "k" ] ~docv:"K" ~doc:"k-safety degree to verify against.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the diagnostics as machine-readable JSON.")
+  in
+  let inject_conv =
+    Arg.enum
+      [
+        ("none", `None); ("locality", `Locality); ("read-sum", `Read_sum);
+        ("unpin", `Unpin); ("lost-replica", `Lost_replica);
+      ]
+  in
+  let inject_arg =
+    Arg.(
+      value & opt inject_conv `None
+      & info [ "inject" ] ~docv:"FAULT"
+          ~doc:
+            "Deliberately corrupt the checked artifact before verifying — \
+             proves the verifier rejects it.  $(b,locality), $(b,read-sum) \
+             and $(b,unpin) corrupt the allocation; $(b,lost-replica) \
+             corrupts the migration plan.")
+  in
+  let run name granularity n loads algorithm seed k json inject =
+    (* The verifier reports; it must not trip the in-algorithm assertions
+       installed by the experiments harness before it can do so. *)
+    Core.Invariants.disable ();
+    let rng () = Cdbs_util.Rng.create seed in
+    let backends = make_backends n loads in
+    let memetic_params =
+      {
+        Core.Memetic.default_params with
+        Core.Memetic.iterations = 20;
+        population = 8;
+      }
+    in
+    let allocate ?(alg = algorithm) ?(k = 0) workload bs =
+      if k > 0 then Core.Ksafety.allocate ~k workload bs
+      else
+        match alg with
+        | `Greedy -> Core.Greedy.allocate workload bs
+        | `Memetic | `Optimal ->
+            Core.Memetic.allocate ~params:memetic_params ~rng:(rng ()) workload
+              bs
+    in
+    let alloc_fault =
+      match inject with
+      | `Locality -> Some `Locality
+      | `Read_sum -> Some `Read_sum
+      | `Unpin -> Some `Unpin
+      | `None | `Lost_replica -> None
+    in
+    let corrupt_plan = inject = `Lost_replica in
+    let quickstart_scenario ~fault () =
+      let workload = quickstart_workload () in
+      check_allocation_scenario ~name:"quickstart (paper Sec. 3 example)"
+        ~workload
+        ~alloc:(allocate ~alg:`Greedy workload (Core.Backend.homogeneous 4))
+        ~fault ()
+    in
+    let builtin ~name ~schema ~workload ~alg ?(k = 0) ?(bs = backends) ~fault
+        () =
+      check_allocation_scenario ~name
+        ~schema:(Cdbs_storage.Schema.to_assoc schema)
+        ~k ~workload
+        ~alloc:(allocate ~alg ~k workload bs)
+        ~fault ()
+    in
+    let migration ~corrupt () =
+      check_migration_scenario
+        ~name:"live migration (trace 4h -> 14h, 2 MB/s)" ~nodes:n
+        ~from_hour:4. ~to_hour:14. ~bandwidth:2. ~corrupt ()
+    in
+    let results =
+      match name with
+      | "quickstart" -> [ quickstart_scenario ~fault:alloc_fault () ]
+      | "tpch" ->
+          [
+            builtin ~name:"tpch" ~schema:Cdbs_workloads.Tpch.schema
+              ~workload:(Cdbs_workloads.Tpch.workload ~granularity ~sf:1.)
+              ~alg:algorithm ~fault:alloc_fault ();
+          ]
+      | "tpcapp" ->
+          [
+            builtin ~name:"tpcapp" ~schema:Cdbs_workloads.Tpcapp.schema
+              ~workload:(Cdbs_workloads.Tpcapp.workload ~granularity ~eb:300)
+              ~alg:algorithm ~k ~fault:alloc_fault ();
+          ]
+      | "trace" ->
+          [
+            builtin ~name:"trace (12h)" ~schema:Cdbs_workloads.Trace.schema
+              ~workload:(Cdbs_workloads.Trace.workload_at ~hour:12.)
+              ~alg:algorithm ~k ~fault:alloc_fault ();
+          ]
+      | "timeseries" ->
+          [
+            builtin ~name:"timeseries (horizontal partitioning)"
+              ~schema:Cdbs_workloads.Timeseries.schema
+              ~workload:
+                (Cdbs_workloads.Timeseries.workload ~granularity:`Predicate
+                   ~rng:(rng ()) ~n:2000)
+              ~alg:algorithm ~fault:alloc_fault ();
+          ]
+      | "migration" -> [ migration ~corrupt:corrupt_plan () ]
+      | "all" ->
+          (* The shipped example configurations (examples/*.ml), each
+             verified end to end. *)
+          [
+            quickstart_scenario ~fault:alloc_fault ();
+            builtin ~name:"tpch table greedy n=4"
+              ~schema:Cdbs_workloads.Tpch.schema
+              ~workload:(Cdbs_workloads.Tpch.workload ~granularity:`Table ~sf:1.)
+              ~alg:`Greedy ~fault:None ();
+            builtin ~name:"tpch column memetic n=6"
+              ~schema:Cdbs_workloads.Tpch.schema
+              ~workload:
+                (Cdbs_workloads.Tpch.workload ~granularity:`Column ~sf:1.)
+              ~alg:`Memetic
+              ~bs:(Core.Backend.homogeneous 6)
+              ~fault:None ();
+            builtin ~name:"tpcapp table memetic n=8"
+              ~schema:Cdbs_workloads.Tpcapp.schema
+              ~workload:
+                (Cdbs_workloads.Tpcapp.workload ~granularity:`Table ~eb:300)
+              ~alg:`Memetic
+              ~bs:(Core.Backend.homogeneous 8)
+              ~fault:None ();
+            builtin ~name:"tpcapp column greedy n=4"
+              ~schema:Cdbs_workloads.Tpcapp.schema
+              ~workload:
+                (Cdbs_workloads.Tpcapp.workload ~granularity:`Column ~eb:300)
+              ~alg:`Greedy ~fault:None ();
+            builtin ~name:"trace night (4h) greedy n=4"
+              ~schema:Cdbs_workloads.Trace.schema
+              ~workload:(Cdbs_workloads.Trace.workload_at ~hour:4.)
+              ~alg:`Greedy ~fault:None ();
+            builtin ~name:"trace midday (14h) greedy n=4"
+              ~schema:Cdbs_workloads.Trace.schema
+              ~workload:(Cdbs_workloads.Trace.workload_at ~hour:14.)
+              ~alg:`Greedy ~fault:None ();
+            builtin ~name:"ksafety tpcapp k=1 n=4"
+              ~schema:Cdbs_workloads.Tpcapp.schema
+              ~workload:
+                (Cdbs_workloads.Tpcapp.workload ~granularity:`Table ~eb:300)
+              ~alg:`Greedy ~k:1 ~fault:None ();
+            builtin ~name:"timeseries predicate greedy n=4"
+              ~schema:Cdbs_workloads.Timeseries.schema
+              ~workload:
+                (Cdbs_workloads.Timeseries.workload ~granularity:`Predicate
+                   ~rng:(rng ()) ~n:2000)
+              ~alg:`Greedy ~fault:None ();
+            migration ~corrupt:false ();
+          ]
+      | other ->
+          prerr_endline ("check: unknown workload " ^ other);
+          exit 2
+    in
+    if json then begin
+      let json_string s =
+        let buf = Buffer.create (String.length s + 2) in
+        Buffer.add_char buf '"';
+        String.iter
+          (fun ch ->
+            match ch with
+            | '"' -> Buffer.add_string buf "\\\""
+            | '\\' -> Buffer.add_string buf "\\\\"
+            | '\n' -> Buffer.add_string buf "\\n"
+            | c when Char.code c < 0x20 ->
+                Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+            | c -> Buffer.add_char buf c)
+          s;
+        Buffer.add_char buf '"';
+        Buffer.contents buf
+      in
+      let objects =
+        List.map
+          (fun r ->
+            Printf.sprintf "{\"scenario\":%s,\"summary\":%s,\"diagnostics\":%s}"
+              (json_string r.scenario)
+              (json_string (Diag.summary r.diagnostics))
+              (Diag.list_to_json r.diagnostics))
+          results
+      in
+      print_string ("[" ^ String.concat "," objects ^ "]\n")
+    end
+    else
+      List.iter
+        (fun r ->
+          Fmt.pr "=== %s ===@.%a" r.scenario Diag.pp_report r.diagnostics)
+        results;
+    let total_errors =
+      List.fold_left
+        (fun acc r -> acc + List.length (Diag.errors r.diagnostics))
+        0 results
+    in
+    if not json then
+      Fmt.pr "@.checked %d scenario%s: %d error%s@." (List.length results)
+        (if List.length results = 1 then "" else "s")
+        total_errors
+        (if total_errors = 1 then "" else "s");
+    if total_errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically verify allocations, migration plans and workloads \
+          against the paper's structural invariants (Eqs. 8-11, 14-15, \
+          k-safety, expand-then-contract)")
+    Term.(
+      const run $ workload_arg $ granularity_arg $ backends_arg $ loads_arg
+      $ algorithm_arg $ seed_arg $ ksafety_arg $ json_arg $ inject_arg)
+
+(* ------------------------------------------------------------------ *)
 (* journalgen                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -428,5 +811,5 @@ let () =
           (Cmd.info "cdbs" ~version:"1.0.0" ~doc)
           [
             classify_cmd; allocate_cmd; simulate_cmd; experiment_cmd;
-            migrate_cmd; journalgen_cmd;
+            migrate_cmd; check_cmd; journalgen_cmd;
           ]))

@@ -1,0 +1,237 @@
+open Cdbs_core
+module D = Diagnostic
+
+let backend_subject (alloc : Allocation.t) b =
+  "backend " ^ (Allocation.backends alloc).(b).Backend.name
+
+let class_subject (c : Query_class.t) = "class " ^ c.Query_class.id
+
+let overlaps alloc b (c : Query_class.t) =
+  not
+    (Fragment.Set.is_empty
+       (Fragment.Set.inter c.Query_class.fragments
+          (Allocation.fragments_of alloc b)))
+
+(* Eq. 8 plus sign sanity, per (backend, class). *)
+let check_locality alloc =
+  let n = Allocation.num_backends alloc in
+  let out = ref [] in
+  for b = 0 to n - 1 do
+    Array.iter
+      (fun c ->
+        let w = Allocation.get_assign alloc b c in
+        if w < -.Eps.assign then
+          out :=
+            D.error ~code:"ALC001" ~subject:(class_subject c)
+              ~data:[ ("backend", D.Int b); ("assign", D.Num w) ]
+              "negative assignment %g on %s" w
+              (backend_subject alloc b)
+            :: !out;
+        if w > Eps.assign && not (Allocation.holds alloc b c) then
+          out :=
+            D.error ~code:"ALC002" ~subject:(class_subject c)
+              ~data:[ ("backend", D.Int b); ("assign", D.Num w) ]
+              "assigned %.4f on %s which lacks some of its fragments (Eq. 8)"
+              w (backend_subject alloc b)
+            :: !out)
+      (Allocation.classes alloc)
+  done;
+  !out
+
+(* Eq. 9: read classes fully distributed. *)
+let check_read_conservation alloc =
+  let workload = Allocation.workload alloc in
+  let n = Allocation.num_backends alloc in
+  List.filter_map
+    (fun (c : Query_class.t) ->
+      let total = ref 0. in
+      for b = 0 to n - 1 do
+        total := !total +. Allocation.get_assign alloc b c
+      done;
+      if abs_float (!total -. c.Query_class.weight) > Eps.weight then
+        Some
+          (D.error ~code:"ALC003" ~subject:(class_subject c)
+             ~data:
+               [
+                 ("assigned", D.Num !total);
+                 ("weight", D.Num c.Query_class.weight);
+               ]
+             "read class assigned %.6f of weight %.6f (Eq. 9)" !total
+             c.Query_class.weight)
+      else None)
+    workload.Workload.reads
+
+(* Eqs. 10-11: ROWA pinning and existence of update classes. *)
+let check_updates alloc =
+  let workload = Allocation.workload alloc in
+  let n = Allocation.num_backends alloc in
+  List.concat_map
+    (fun (u : Query_class.t) ->
+      let per_backend = ref [] in
+      let somewhere = ref false in
+      for b = 0 to n - 1 do
+        let w = Allocation.get_assign alloc b u in
+        if overlaps alloc b u then begin
+          if abs_float (w -. u.Query_class.weight) > Eps.assign then
+            per_backend :=
+              D.error ~code:"ALC004" ~subject:(class_subject u)
+                ~data:
+                  [
+                    ("backend", D.Int b); ("assign", D.Num w);
+                    ("weight", D.Num u.Query_class.weight);
+                  ]
+                "update class carries %.6f instead of its full weight %.6f \
+                 on %s whose data it overlaps (ROWA, Eq. 10)"
+                w u.Query_class.weight
+                (backend_subject alloc b)
+              :: !per_backend;
+          if w >= u.Query_class.weight -. Eps.assign then somewhere := true
+        end
+        else if w > Eps.assign then
+          per_backend :=
+            D.error ~code:"ALC005" ~subject:(class_subject u)
+              ~data:[ ("backend", D.Int b); ("assign", D.Num w) ]
+              "update class carries %.6f on %s which holds none of its data"
+              w
+              (backend_subject alloc b)
+            :: !per_backend
+      done;
+      if u.Query_class.weight > 0. && not !somewhere then
+        D.error ~code:"ALC006" ~subject:(class_subject u)
+          ~data:[ ("weight", D.Num u.Query_class.weight) ]
+          "update class allocated nowhere (Eq. 11)"
+        :: !per_backend
+      else !per_backend)
+    workload.Workload.updates
+
+let check_scale ?max_scale alloc =
+  match max_scale with
+  | None -> []
+  | Some bound ->
+      let s = Allocation.scale alloc in
+      if s > bound +. Eps.weight then
+        [
+          D.error ~code:"ALC007" ~subject:"allocation"
+            ~data:[ ("scale", D.Num s); ("max_scale", D.Num bound) ]
+            "scale factor %.4f exceeds the bound %.4f (Eqs. 14-15)" s bound;
+        ]
+      else []
+
+let check_storage ?storage_limit_mb alloc =
+  match storage_limit_mb with
+  | None -> []
+  | Some limits ->
+      let n = min (Array.length limits) (Allocation.num_backends alloc) in
+      let out = ref [] in
+      for b = 0 to n - 1 do
+        let stored = Fragment.set_size (Allocation.fragments_of alloc b) in
+        if stored > limits.(b) +. Eps.weight then
+          out :=
+            D.error ~code:"ALC008" ~subject:(backend_subject alloc b)
+              ~data:[ ("stored_mb", D.Num stored); ("limit_mb", D.Num limits.(b)) ]
+              "stores %.1f MB, over its %.1f MB limit" stored limits.(b)
+            :: !out
+      done;
+      !out
+
+let check_ksafety ~k alloc =
+  if k <= 0 then []
+  else begin
+    let workload = Allocation.workload alloc in
+    let n = Allocation.num_backends alloc in
+    let class_diags =
+      List.filter_map
+        (fun (c : Query_class.t) ->
+          let replicas = Ksafety.class_replica_count alloc c in
+          if replicas < k + 1 then
+            Some
+              (D.error ~code:"ALC009" ~subject:(class_subject c)
+                 ~data:[ ("replicas", D.Int replicas); ("k", D.Int k) ]
+                 "served by %d backend%s, fewer than the k+1 = %d required"
+                 replicas
+                 (if replicas = 1 then "" else "s")
+                 (k + 1))
+          else None)
+        (Workload.all_classes workload)
+    in
+    let fragment_diags =
+      Fragment.Set.fold
+        (fun f acc ->
+          let copies = ref 0 in
+          for b = 0 to n - 1 do
+            if Fragment.Set.mem f (Allocation.fragments_of alloc b) then
+              incr copies
+          done;
+          if !copies < k + 1 then
+            D.warning ~code:"ALC010" ~subject:("fragment " ^ Fragment.name f)
+              ~data:[ ("copies", D.Int !copies); ("k", D.Int k) ]
+              "stored %d time%s, fewer than k+1 = %d (Eq. 46)" !copies
+              (if !copies = 1 then "" else "s")
+              (k + 1)
+            :: acc
+          else acc)
+        (Workload.fragments workload) []
+    in
+    class_diags @ fragment_diags
+  end
+
+(* Lint: storage nothing assigned on the backend needs, and idle backends. *)
+let check_lints ~k alloc =
+  let workload = Allocation.workload alloc in
+  let n = Allocation.num_backends alloc in
+  let out = ref [] in
+  for b = 0 to n - 1 do
+    let frs = Allocation.fragments_of alloc b in
+    let load = Allocation.assigned_load alloc b in
+    if Fragment.Set.is_empty frs && load <= Eps.assign then
+      out :=
+        D.info ~code:"ALC012" ~subject:(backend_subject alloc b)
+          "idle: stores nothing and serves no load"
+        :: !out
+    else if k = 0 then begin
+      let needed =
+        List.fold_left
+          (fun acc (c : Query_class.t) ->
+            if Allocation.get_assign alloc b c > Eps.assign then
+              Fragment.Set.union acc c.Query_class.fragments
+            else acc)
+          Fragment.Set.empty
+          (Workload.all_classes workload)
+      in
+      Fragment.Set.iter
+        (fun f ->
+          if not (Fragment.Set.mem f needed) then
+            out :=
+              D.warning ~code:"ALC011" ~subject:(backend_subject alloc b)
+                ~data:
+                  [
+                    ("fragment", D.Str (Fragment.name f));
+                    ("size_mb", D.Num f.Fragment.size);
+                  ]
+                "stores %s (%.1f MB) which no class assigned here references \
+                 (prune would drop it)"
+                (Fragment.name f) f.Fragment.size
+            :: !out)
+        (Fragment.Set.diff frs needed)
+    end
+  done;
+  !out
+
+let check ?(k = 0) ?max_scale ?storage_limit_mb alloc =
+  check_locality alloc
+  @ check_read_conservation alloc
+  @ check_updates alloc
+  @ check_scale ?max_scale alloc
+  @ check_storage ?storage_limit_mb alloc
+  @ check_ksafety ~k alloc
+  @ check_lints ~k alloc
+
+let check_exn ?k ~context alloc =
+  match Diagnostic.errors (check ?k alloc) with
+  | [] -> ()
+  | errs ->
+      raise
+        (Invariants.Violation
+           (context ^ ": "
+           ^ String.concat "; "
+               (List.map (fun d -> Fmt.str "%a" Diagnostic.pp d) errs)))

@@ -1,0 +1,47 @@
+(** Allocation invariants — an independent re-statement of the paper's
+    structural constraints, checked against any {!Cdbs_core.Allocation.t}
+    regardless of which algorithm produced it.
+
+    Codes:
+    - [ALC001] (error)   negative assignment
+    - [ALC002] (error)   locality, Eq. 8: class assigned to a backend that
+                         does not hold all its fragments
+    - [ALC003] (error)   read-weight conservation, Eq. 9: per-backend
+                         shares of a read class do not sum to its weight
+    - [ALC004] (error)   ROWA pinning, Eq. 10: an update class overlaps a
+                         backend's data but is not pinned there at full
+                         weight
+    - [ALC005] (error)   an update class carries weight on a backend that
+                         holds none of its data
+    - [ALC006] (error)   Eq. 11: an update class with positive weight is
+                         allocated nowhere
+    - [ALC007] (error)   scale bound, Eqs. 14–15: the allocation's scale
+                         factor exceeds [max_scale]
+    - [ALC008] (error)   storage bound: a backend stores more megabytes
+                         than its [storage_limit_mb] entry allows
+    - [ALC009] (error)   k-safety: a query class is served by fewer than
+                         [k+1] backends (only with [~k > 0])
+    - [ALC010] (warning) k-safety, Eq. 46: a fragment is stored fewer than
+                         [k+1] times (only with [~k > 0])
+    - [ALC011] (warning) dead storage: a backend holds a fragment no class
+                         assigned on it references (prune would drop it;
+                         suppressed when [~k > 0] — standby replicas are
+                         intentional there)
+    - [ALC012] (info)    idle backend: no fragments and no assigned load *)
+
+open Cdbs_core
+
+val check :
+  ?k:int ->
+  ?max_scale:float ->
+  ?storage_limit_mb:float array ->
+  Allocation.t ->
+  Diagnostic.t list
+(** [k] defaults to 0 (no k-safety checks); [max_scale] and
+    [storage_limit_mb] (per backend, in MB) enable the corresponding bound
+    checks when given. *)
+
+val check_exn : ?k:int -> context:string -> Allocation.t -> unit
+(** Raise {!Cdbs_core.Invariants.Violation} listing all error-severity
+    findings; warnings and infos are ignored.  The assertion form used by
+    debug-mode call sites. *)

@@ -1,0 +1,191 @@
+open Cdbs_core
+module D = Diagnostic
+
+let class_subject (c : Query_class.t) = "class " ^ c.Query_class.id
+
+let check_ids classes =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (c : Query_class.t) ->
+      let id = c.Query_class.id in
+      if Hashtbl.mem seen id then
+        Some
+          (D.error ~code:"WKL001" ~subject:(class_subject c)
+             "duplicate query class id %s" id)
+      else begin
+        Hashtbl.replace seen id ();
+        None
+      end)
+    classes
+
+let check_weights (w : Workload.t) classes =
+  let per_class =
+    List.concat_map
+      (fun (c : Query_class.t) ->
+        if c.Query_class.weight < 0. then
+          [
+            D.error ~code:"WKL002" ~subject:(class_subject c)
+              ~data:[ ("weight", D.Num c.Query_class.weight) ]
+              "negative weight %g" c.Query_class.weight;
+          ]
+        else if c.Query_class.weight = 0. then
+          [
+            D.warning ~code:"WKL003" ~subject:(class_subject c)
+              "zero-weight class never influences the allocation";
+          ]
+        else [])
+      classes
+  in
+  let total = Workload.total_weight w in
+  if abs_float (total -. 1.) > Eps.weight then
+    D.error ~code:"WKL004" ~subject:"workload"
+      ~data:[ ("total", D.Num total) ]
+      "class weights sum to %.6f, expected 1 (run Workload.normalize?)" total
+    :: per_class
+  else per_class
+
+let check_footprints classes =
+  List.filter_map
+    (fun (c : Query_class.t) ->
+      if Fragment.Set.is_empty c.Query_class.fragments then
+        Some
+          (D.error ~code:"WKL005" ~subject:(class_subject c)
+             "class references no fragments")
+      else None)
+    classes
+
+let check_kinds (w : Workload.t) =
+  List.filter_map
+    (fun (c : Query_class.t) ->
+      if Query_class.is_update c then
+        Some
+          (D.error ~code:"WKL006" ~subject:(class_subject c)
+             "update class listed among reads")
+      else None)
+    w.Workload.reads
+  @ List.filter_map
+      (fun (c : Query_class.t) ->
+        if not (Query_class.is_update c) then
+          Some
+            (D.error ~code:"WKL006" ~subject:(class_subject c)
+               "read class listed among updates")
+        else None)
+      w.Workload.updates
+
+let fragment_table (f : Fragment.t) =
+  match f.Fragment.kind with
+  | Fragment.Table t -> (t, None)
+  | Fragment.Column { table; column } | Fragment.Range { table; column; _ } ->
+      (table, Some column)
+
+let check_schema schema (w : Workload.t) =
+  Fragment.Set.fold
+    (fun f acc ->
+      let table, column = fragment_table f in
+      let subject = "fragment " ^ Fragment.name f in
+      match List.assoc_opt table schema with
+      | None ->
+          D.error ~code:"WKL007" ~subject
+            ~data:[ ("table", D.Str table) ]
+            "references undefined table %s" table
+          :: acc
+      | Some columns -> (
+          match column with
+          | Some col when not (List.mem col columns) ->
+              D.error ~code:"WKL008" ~subject
+                ~data:[ ("table", D.Str table); ("column", D.Str col) ]
+                "references undefined column %s.%s" table col
+              :: acc
+          | _ -> acc))
+    (Workload.fragments w) []
+
+let check_duplicate_footprints classes =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (c : Query_class.t) :: rest ->
+        let dup =
+          List.find_opt
+            (fun (c' : Query_class.t) ->
+              Query_class.is_update c = Query_class.is_update c'
+              && Fragment.Set.equal c.Query_class.fragments
+                   c'.Query_class.fragments)
+            rest
+        in
+        let acc =
+          match dup with
+          | Some c' ->
+              D.warning ~code:"WKL009" ~subject:(class_subject c)
+                ~data:[ ("other", D.Str c'.Query_class.id) ]
+                "same kind and fragment footprint as %s (classification \
+                 should merge them)"
+                c'.Query_class.id
+              :: acc
+          | None -> acc
+        in
+        go acc rest
+  in
+  go [] classes
+
+(* Ranges over the same table.column, sorted by [lo]: report overlaps and
+   interior gaps.  A gap before the first or after the last range is fine —
+   the workload may simply not touch that part of the data. *)
+let check_ranges (w : Workload.t) =
+  let groups : (string * string, (float * float) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  Fragment.Set.iter
+    (fun f ->
+      match f.Fragment.kind with
+      | Fragment.Range { table; column; lo; hi } ->
+          let key = (table, column) in
+          let cell =
+            match Hashtbl.find_opt groups key with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.replace groups key c;
+                c
+          in
+          cell := (lo, hi) :: !cell
+      | _ -> ())
+    (Workload.fragments w);
+  Hashtbl.fold
+    (fun (table, column) cell acc ->
+      let subject = Printf.sprintf "fragmentation %s.%s" table column in
+      let ranges =
+        List.sort (fun (a, _) (b, _) -> Float.compare a b) !cell
+      in
+      let rec scan acc = function
+        | (lo1, hi1) :: ((lo2, hi2) :: _ as rest) ->
+            let acc =
+              if lo2 < hi1 -. Eps.weight then
+                D.warning ~code:"WKL010" ~subject
+                  ~data:
+                    [
+                      ("lo1", D.Num lo1); ("hi1", D.Num hi1);
+                      ("lo2", D.Num lo2); ("hi2", D.Num hi2);
+                    ]
+                  "ranges [%g,%g) and [%g,%g) overlap" lo1 hi1 lo2 hi2
+                :: acc
+              else if lo2 > hi1 +. Eps.weight then
+                D.warning ~code:"WKL011" ~subject
+                  ~data:[ ("gap_lo", D.Num hi1); ("gap_hi", D.Num lo2) ]
+                  "gap [%g,%g) not covered by any fragment" hi1 lo2
+                :: acc
+              else acc
+            in
+            scan acc rest
+        | _ -> acc
+      in
+      scan acc ranges)
+    groups []
+
+let check ?schema (w : Workload.t) =
+  let classes = Workload.all_classes w in
+  check_ids classes
+  @ check_weights w classes
+  @ check_footprints classes
+  @ check_kinds w
+  @ (match schema with Some s -> check_schema s w | None -> [])
+  @ check_duplicate_footprints classes
+  @ check_ranges w

@@ -1,0 +1,33 @@
+(** Workload lints — sanity of the classification before anything is
+    allocated from it.
+
+    Codes:
+    - [WKL001] (error)   duplicate query-class id
+    - [WKL002] (error)   negative class weight
+    - [WKL003] (warning) zero-weight class (dead weight in the search space)
+    - [WKL004] (error)   class weights do not sum to 1
+    - [WKL005] (error)   class references no fragments
+    - [WKL006] (error)   kind mismatch (update listed among reads or
+                         vice versa)
+    - [WKL007] (error)   fragment references a table the schema does not
+                         define (only with [~schema])
+    - [WKL008] (error)   fragment references a column the schema does not
+                         define (only with [~schema])
+    - [WKL009] (warning) two classes of the same kind share an identical
+                         fragment footprint (the classification failed to
+                         merge them)
+    - [WKL010] (warning) horizontal fragmentation: two ranges over the same
+                         [table.column] overlap (tuples double-counted)
+    - [WKL011] (warning) horizontal fragmentation: gap between consecutive
+                         ranges over the same [table.column] (tuples not
+                         covered by any fragment) *)
+
+open Cdbs_core
+
+val check :
+  ?schema:(string * string list) list ->
+  Workload.t ->
+  Diagnostic.t list
+(** [schema] is the [(table, columns)] catalog to resolve fragment
+    references against (as produced by [Cdbs_storage.Schema.to_assoc]);
+    without it the undefined-table/column checks are skipped. *)

@@ -323,12 +323,25 @@ let compute_target t ~iterations =
     Ok (alloc, current_sets)
   end
 
+(* Debug-mode assertion: before deploying, run the full static verifier
+   over the target allocation (and, for live paths, the migration plan).
+   No-op unless Cdbs_core.Invariants checks are active. *)
+let assert_target ~context alloc =
+  if Cdbs_core.Invariants.active () then
+    Cdbs_analysis.Check_allocation.check_exn ~context alloc
+
+let assert_plan ~context alloc plan =
+  if Cdbs_core.Invariants.active () then
+    Cdbs_analysis.Check_migration.check_plan_exn ~context
+      ~workload:(Allocation.workload alloc) plan
+
 let reallocate t ?(iterations = 40) () =
   if t.migration <> None then Error "a live migration is in progress"
   else
   match compute_target t ~iterations with
   | Error e -> Error e
   | Ok (alloc, current_sets) ->
+    assert_target ~context:"Controller.reallocate" alloc;
     let plan = Physical.plan_scaled ~old_fragments:current_sets alloc in
     (* Rebuild each physical node with exactly the tables of the new
        backend mapped onto it. *)
@@ -370,7 +383,9 @@ let begin_reallocate_live t ?(iterations = 40) ?(bandwidth_mb_per_request = 5.)
     match compute_target t ~iterations with
     | Error e -> Error e
     | Ok (alloc, current_sets) ->
+        assert_target ~context:"Controller.begin_reallocate_live" alloc;
         let plan = Planner.make ~old_fragments:current_sets alloc in
+        assert_plan ~context:"Controller.begin_reallocate_live" alloc plan;
         t.migration <-
           Some
             {

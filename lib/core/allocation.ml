@@ -183,8 +183,8 @@ let validate t =
       Array.iteri
         (fun k w ->
           let c = t.classes.(k) in
-          if w < -1e-9 then err "negative assignment of %s on B%d" c.Query_class.id (b + 1);
-          if w > 1e-9 && not (holds t b c) then
+          if w < -.Eps.assign then err "negative assignment of %s on B%d" c.Query_class.id (b + 1);
+          if w > Eps.assign && not (holds t b c) then
             err "class %s assigned to B%d without its fragments"
               c.Query_class.id (b + 1))
         t.assign.(b))
@@ -194,7 +194,7 @@ let validate t =
     (fun c ->
       let total = ref 0. in
       Array.iteri (fun b _ -> total := !total +. get_assign t b c) t.backends;
-      if abs_float (!total -. c.Query_class.weight) > 1e-6 then
+      if abs_float (!total -. c.Query_class.weight) > Eps.weight then
         err "read class %s assigned %.4f of weight %.4f" c.Query_class.id
           !total c.Query_class.weight)
     t.workload.Workload.reads;
@@ -204,12 +204,12 @@ let validate t =
       Array.iteri
         (fun b _ ->
           if overlaps_backend t b u then begin
-            if abs_float (get_assign t b u -. u.Query_class.weight) > 1e-9
+            if abs_float (get_assign t b u -. u.Query_class.weight) > Eps.assign
             then
               err "update class %s not pinned at full weight on B%d"
                 u.Query_class.id (b + 1)
           end
-          else if get_assign t b u > 1e-9 then
+          else if get_assign t b u > Eps.assign then
             err "update class %s assigned to B%d without data"
               u.Query_class.id (b + 1))
         t.backends)
@@ -219,7 +219,7 @@ let validate t =
     (fun u ->
       let total = ref 0. in
       Array.iteri (fun b _ -> total := !total +. get_assign t b u) t.backends;
-      if u.Query_class.weight > 0. && !total < u.Query_class.weight -. 1e-9
+      if u.Query_class.weight > 0. && !total < u.Query_class.weight -. Eps.assign
       then err "update class %s nowhere allocated" u.Query_class.id)
     t.workload.Workload.updates;
   match !errors with [] -> Ok () | es -> Error (List.rev es)

@@ -9,5 +9,8 @@ let underloaded alloc =
   let us = utilizations alloc in
   let mean = Cdbs_util.Stats.mean us in
   List.mapi (fun i u -> (i, u)) us
-  |> List.filter (fun (_, u) -> u < 0.95 *. mean)
+  (* The Eps.weight slack keeps float noise in the utilization sums from
+     flagging a perfectly balanced backend (same constant the checker and
+     Allocation.validate use for weight sums). *)
+  |> List.filter (fun (_, u) -> u < (0.95 *. mean) -. Eps.weight)
   |> List.map fst

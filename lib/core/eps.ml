@@ -1,0 +1,3 @@
+let weight = 1e-6
+let assign = 1e-9
+let tiny = 1e-12

@@ -1,0 +1,20 @@
+(** Shared floating-point tolerances.
+
+    Every weight-sum, assignment and load comparison in the allocation
+    model, the algorithms and the static checker uses one of these three
+    constants.  Keeping them in a single module prevents the checker and
+    the code it verifies from drifting apart: a looser tolerance in
+    [Allocation.validate] than in [Cdbs_analysis.Check_allocation] would
+    make the checker reject allocations the model itself accepts. *)
+
+val weight : float
+(** Tolerance for sums of class weights (Eqs. 9, 11 and workload
+    normalization): absolute drift accumulated over many additions. *)
+
+val assign : float
+(** Tolerance for a single assignment value (Eqs. 8, 10): distinguishes a
+    genuinely positive share from float noise. *)
+
+val tiny : float
+(** Strictest threshold — "is this share exactly zero": used by the local
+    searches when deciding whether a class still sits on a backend. *)

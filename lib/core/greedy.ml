@@ -1,4 +1,4 @@
-let eps = 1e-9
+let eps = Eps.assign
 
 (* Fragments a class brings along: its own plus those of its updates. *)
 let closure_fragments workload c =
@@ -169,4 +169,5 @@ let allocate (workload : Workload.t) (backend_list : Backend.t list) :
           end
         end
   done;
+  Invariants.check_allocation ~context:"Greedy.allocate" alloc;
   alloc

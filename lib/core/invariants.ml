@@ -1,0 +1,22 @@
+exception Violation of string
+
+let enabled =
+  ref
+    (match Sys.getenv_opt "CDBS_CHECKS" with
+    | None | Some "" | Some "0" | Some "no" | Some "false" -> false
+    | Some _ -> true)
+
+let active () = !enabled
+let enable () = enabled := true
+let disable () = enabled := false
+
+let default_hook ~context alloc =
+  match Allocation.validate alloc with
+  | Ok () -> ()
+  | Error es -> raise (Violation (context ^ ": " ^ String.concat "; " es))
+
+let allocation_hook = ref default_hook
+let set_allocation_hook h = allocation_hook := h
+
+let check_allocation ~context alloc =
+  if !enabled then !allocation_hook ~context alloc

@@ -1,0 +1,33 @@
+(** Debug-mode invariant assertions.
+
+    The allocation algorithms promise structural invariants (Eqs. 8–11) by
+    construction; this module lets an independent checker verify them at
+    the points where an allocation leaves an algorithm — without making
+    [cdbs_core] depend on the checker.  {!Greedy.allocate},
+    {!Memetic.improve} and the cluster controller call {!check_allocation}
+    on their results; the call is a no-op unless checks are {!enable}d.
+
+    The default checker is {!Allocation.validate}.  [Cdbs_analysis.Debug]
+    installs the full diagnostics engine via {!set_allocation_hook}, so any
+    program linking the analysis library gets the richer checks at the same
+    call sites. *)
+
+exception Violation of string
+(** Raised (by the default hook) when a checked artifact breaks an
+    invariant.  The message names the call site and the violations. *)
+
+val active : unit -> bool
+(** Whether checks currently run.  Off by default; on when the
+    [CDBS_CHECKS] environment variable is set to anything but [0], [no] or
+    [false], or after {!enable}. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val set_allocation_hook : (context:string -> Allocation.t -> unit) -> unit
+(** Replace the checker run by {!check_allocation}.  The hook must raise to
+    signal a violation. *)
+
+val check_allocation : context:string -> Allocation.t -> unit
+(** Run the installed allocation checker when {!active}; [context] names
+    the call site (e.g. ["Greedy.allocate"]) for the error message. *)

@@ -23,7 +23,7 @@ let default_params =
 let cost alloc = (Allocation.scale alloc, Allocation.total_stored alloc)
 
 let better (sa, za) (sb, zb) =
-  sa < sb -. 1e-9 || (abs_float (sa -. sb) <= 1e-9 && za < zb -. 1e-9)
+  sa < sb -. Eps.assign || (abs_float (sa -. sb) <= Eps.assign && za < zb -. Eps.assign)
 
 let compare_cost a b =
   let ca = cost a and cb = cost b in
@@ -66,7 +66,7 @@ let consolidate_pairs alloc =
           Array.iteri
             (fun j c2 ->
               if i < j then begin
-                let on b c = Allocation.get_assign alloc b c > 1e-12 in
+                let on b c = Allocation.get_assign alloc b c > Eps.tiny in
                 if
                   on b1 c1 && on b2 c1 && on b1 c2 && on b2 c2
                   && Workload.updates_of workload c1
@@ -99,7 +99,7 @@ let shift_heavy_updates alloc =
       for b1 = 0 to n - 1 do
         for b2 = 0 to n - 1 do
           if b1 <> b2 then begin
-            let on b u = Allocation.get_assign alloc b u > 1e-12 in
+            let on b u = Allocation.get_assign alloc b u > Eps.tiny in
             if on b1 u1 && on b2 u1 then begin
               let lighter_exists =
                 List.exists
@@ -115,7 +115,7 @@ let shift_heavy_updates alloc =
                   (fun c ->
                     if
                       Query_class.overlaps c u1
-                      && Allocation.get_assign trial b1 c > 1e-12
+                      && Allocation.get_assign trial b1 c > Eps.tiny
                     then transfer trial c ~b1 ~b2 ~amount:infinity)
                   workload.Workload.reads;
                 if better (cost trial) (cost alloc) then begin
@@ -152,7 +152,7 @@ let mutate rng alloc =
       (* Source: a backend currently serving c (if any). *)
       let sources =
         List.filter
-          (fun b -> Allocation.get_assign child b c > 1e-12)
+          (fun b -> Allocation.get_assign child b c > Eps.tiny)
           (List.init n (fun b -> b))
       in
       match sources with
@@ -215,7 +215,9 @@ let improve ?(params = default_params) ~rng alloc =
     population := Array.to_list survivors
   done;
   let all = alloc :: !population in
-  List.hd (List.sort compare_cost all)
+  let best = List.hd (List.sort compare_cost all) in
+  Invariants.check_allocation ~context:"Memetic.improve" best;
+  best
 
 let allocate ?params ~rng workload backend_list =
   let seed = Greedy.allocate workload backend_list in

@@ -49,7 +49,7 @@ let validate t =
     Error "update class listed among reads"
   else if List.exists (fun c -> not (Query_class.is_update c)) t.updates then
     Error "read class listed among updates"
-  else if abs_float (total_weight t -. 1.) > 1e-6 then
+  else if abs_float (total_weight t -. 1.) > Eps.weight then
     Error (Printf.sprintf "weights sum to %f, expected 1" (total_weight t))
   else Ok ()
 

@@ -5,6 +5,12 @@ module Memetic = Cdbs_core.Memetic
 module Query_class = Cdbs_core.Query_class
 module Simulator = Cdbs_cluster.Simulator
 
+(* Every experiment run self-verifies: loading this harness installs the
+   full static checker behind Cdbs_core.Invariants, so each allocation an
+   algorithm emits (and each migration plan the controller builds) is
+   verified before the figures use it. *)
+let () = Cdbs_analysis.Debug.install ()
+
 type strategy =
   | Full_replication
   | Table_based
@@ -23,16 +29,22 @@ let memetic_params =
   { Memetic.default_params with Memetic.iterations = 30; population = 8 }
 
 let allocate ~rng strategy ~table_workload ~column_workload backends =
-  match strategy with
-  | Full_replication -> full_replication table_workload backends
-  | Table_based ->
-      Memetic.improve ~params:memetic_params ~rng
-        (Greedy.allocate table_workload backends)
-  | Column_based ->
-      Memetic.improve ~params:memetic_params ~rng
-        (Greedy.allocate column_workload backends)
-  | Random_placement ->
-      Cdbs_core.Baselines.random_placement ~rng column_workload backends
+  let alloc =
+    match strategy with
+    | Full_replication -> full_replication table_workload backends
+    | Table_based ->
+        Memetic.improve ~params:memetic_params ~rng
+          (Greedy.allocate table_workload backends)
+    | Column_based ->
+        Memetic.improve ~params:memetic_params ~rng
+          (Greedy.allocate column_workload backends)
+    | Random_placement ->
+        Cdbs_core.Baselines.random_placement ~rng column_workload backends
+  in
+  Cdbs_core.Invariants.check_allocation
+    ~context:("Common.allocate " ^ strategy_name strategy)
+    alloc;
+  alloc
 
 let simulate ?(cost = Cdbs_cluster.Cost_model.default)
     ?(protocol = Cdbs_cluster.Protocol.default) alloc requests =

@@ -48,10 +48,25 @@ let allocations ~nodes ~from_hour ~to_hour =
   in
   (old_alloc, target)
 
+(* Plans built here self-verify (expand-then-contract, placement equation,
+   replica floors) whenever debug checks are active — which they are for
+   every experiment run, since loading Common installs the verifier. *)
+let checked_plan ~context target plan =
+  if Cdbs_core.Invariants.active () then
+    Cdbs_analysis.Check_migration.check_plan_exn ~context
+      ~workload:(Allocation.workload target) plan;
+  plan
+
+let checked_schedule ~context schedule =
+  if Cdbs_core.Invariants.active () then
+    Cdbs_analysis.Check_migration.check_schedule_exn ~context schedule;
+  schedule
+
 let plan ?(nodes = 4) ?(from_hour = 4.) ?(to_hour = 14.) () =
   let old_alloc, target = allocations ~nodes ~from_hour ~to_hour in
   let old_fragments = List.init nodes (Allocation.fragments_of old_alloc) in
-  Planner.make ~old_fragments target
+  checked_plan ~context:"Fig_migration.plan" target
+    (Planner.make ~old_fragments target)
 
 let scenario ?(nodes = 4) ?(bandwidth = 2.) ?(rate_per_s = 40.)
     ?(duration = 600.) ?(migrate_at = 150.) ?(buckets = 20) ?(seed = 11)
@@ -61,8 +76,14 @@ let scenario ?(nodes = 4) ?(bandwidth = 2.) ?(rate_per_s = 40.)
   let old_fragments =
     List.init nodes (Allocation.fragments_of old_alloc)
   in
-  let plan = Planner.make ~old_fragments target in
-  let schedule = Schedule.make ~start:migrate_at ~bandwidth plan in
+  let plan =
+    checked_plan ~context:"Fig_migration.scenario" target
+      (Planner.make ~old_fragments target)
+  in
+  let schedule =
+    checked_schedule ~context:"Fig_migration.scenario"
+      (Schedule.make ~start:migrate_at ~bandwidth plan)
+  in
   let n = int_of_float (rate_per_s *. duration) in
   let requests =
     List.map

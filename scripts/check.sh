@@ -10,4 +10,13 @@ fi
 
 dune build
 dune runtest
+
+# Static plan verification: the shipped scenarios must be diagnostic-clean,
+# and a deliberately corrupted allocation must be rejected.
+dune build @lint
+if dune exec bin/cdbs_cli.exe -- check -w quickstart --inject locality >/dev/null 2>&1; then
+  echo "error: verifier accepted a corrupted allocation" >&2
+  exit 1
+fi
+
 echo "check: OK"

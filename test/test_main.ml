@@ -17,6 +17,7 @@ let () =
       ("timeseries", Test_timeseries.suite);
       ("segmented-memetic", Test_segmented.suite);
       ("autoscale", Test_autoscale.suite);
+      ("analysis", Test_analysis.suite);
       ("experiments", Test_experiments.suite);
       ("paper-examples", Test_paper_examples.suite);
     ]
