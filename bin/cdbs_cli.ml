@@ -282,12 +282,14 @@ let experiment_cmd =
                   ("tables", `Tables); ("tpch", `Tpch); ("tpcapp", `Tpcapp);
                   ("balance", `Balance); ("elastic", `Elastic);
                   ("ablation", `Ablation); ("migration", `Migration);
+                  ("faults", `Faults);
                 ]))
           None
       & info [] ~docv:"SECTION"
           ~doc:
             "Experiment section: $(b,tables), $(b,tpch), $(b,tpcapp), \
-             $(b,balance), $(b,elastic), $(b,ablation) or $(b,migration).")
+             $(b,balance), $(b,elastic), $(b,ablation), $(b,migration) or \
+             $(b,faults).")
   in
   let run = function
     | `Tables -> Cdbs_experiments.Tables.print_all ()
@@ -297,6 +299,7 @@ let experiment_cmd =
     | `Elastic -> Cdbs_experiments.Fig_elastic.print_all ()
     | `Ablation -> Cdbs_experiments.Ablation.print_all ()
     | `Migration -> Cdbs_experiments.Fig_migration.print_all ()
+    | `Faults -> Cdbs_experiments.Fig_faults.print_all ()
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run a paper-reproduction experiment section")
@@ -772,6 +775,157 @@ let check_cmd =
       $ algorithm_arg $ seed_arg $ ksafety_arg $ json_arg $ inject_arg)
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let mtbf_arg =
+    Arg.(
+      value & opt float 120.
+      & info [ "mtbf" ] ~docv:"SECONDS"
+          ~doc:"Mean time between failures per backend.")
+  in
+  let mttr_arg =
+    Arg.(
+      value & opt float 25.
+      & info [ "mttr" ] ~docv:"SECONDS" ~doc:"Mean time to recovery.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 600.
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Run length (also the fault-injection horizon).")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 20.
+      & info [ "rate" ] ~docv:"REQ/S" ~doc:"Offered request rate.")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "k" ] ~docv:"K"
+          ~doc:"k-safety degree of the allocation under test.")
+  in
+  let max_down_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-down" ] ~docv:"N"
+          ~doc:
+            "Cap on simultaneously crashed backends (incidents beyond the \
+             cap are dropped).  Keep it at or below $(b,--k) to test the \
+             regime the allocation is built to absorb.")
+  in
+  let min_avail_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "min-availability" ] ~docv:"FRACTION"
+          ~doc:
+            "Exit non-zero when availability (completed / offered) falls \
+             below this threshold — the CI smoke-test hook.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the outcome as machine-readable JSON.")
+  in
+  let run n seed mtbf mttr duration rate k max_down min_avail json =
+    let module Faults = Cdbs_faults in
+    let module Sim = Cdbs_cluster.Simulator in
+    let workload = Cdbs_workloads.Trace.workload_at ~hour:14. in
+    let alloc =
+      Core.Ksafety.allocate ~k workload (Core.Backend.homogeneous n)
+    in
+    let rng = Cdbs_util.Rng.create seed in
+    let faults =
+      Faults.Chaos.generate ~rng ~num_backends:n
+        {
+          Faults.Chaos.default with
+          Faults.Chaos.mtbf;
+          mttr;
+          horizon = duration;
+          max_concurrent_down = max_down;
+        }
+    in
+    let reqs =
+      List.map
+        (fun (r : Cdbs_cluster.Request.t) ->
+          { r with Cdbs_cluster.Request.arrival = Cdbs_util.Rng.float rng duration })
+        (Cdbs_workloads.Spec.requests ~rng
+           ~n:(int_of_float (rate *. duration))
+           (Cdbs_workloads.Trace.specs_at ~hour:14.))
+    in
+    let config = Sim.homogeneous_config n in
+    let fo = Sim.run_open_with_faults config alloc reqs ~faults in
+    let crashes =
+      List.length
+        (List.filter
+           (fun (t : Faults.Fault.timed) ->
+             match t.Faults.Fault.event with
+             | Faults.Fault.Crash _ -> true
+             | _ -> false)
+           faults)
+    in
+    let p99_ms =
+      match fo.Sim.responses with
+      | [] -> 0.
+      | rs -> 1000. *. Cdbs_util.Stats.percentile 99. (List.map snd rs)
+    in
+    let total_downtime = Array.fold_left ( +. ) 0. fo.Sim.downtime in
+    if json then
+      Printf.printf
+        "{\"seed\":%d,\"backends\":%d,\"k\":%d,\"mtbf\":%g,\"mttr\":%g,\
+         \"duration\":%g,\"rate\":%g,\"fault_events\":%d,\"crashes\":%d,\
+         \"offered\":%d,\"completed\":%d,\"availability\":%.6f,\
+         \"aborted\":%d,\"timeouts\":%d,\"retried_requests\":%d,\
+         \"retries\":%d,\"avg_response_ms\":%.3f,\"p99_response_ms\":%.3f,\
+         \"cancelled_work_s\":%.3f,\"catch_up_mb\":%.3f,\"recoveries\":%d,\
+         \"downtime_s\":%.3f,\"max_concurrent_down\":%d}\n"
+        seed n k mtbf mttr duration rate (List.length faults) crashes
+        fo.Sim.offered fo.Sim.run.Sim.completed fo.Sim.availability
+        fo.Sim.aborted fo.Sim.timeouts fo.Sim.retried_requests fo.Sim.retries
+        (1000. *. fo.Sim.run.Sim.avg_response)
+        p99_ms fo.Sim.cancelled_work fo.Sim.catch_up_mb
+        (List.length fo.Sim.recoveries)
+        total_downtime fo.Sim.max_concurrent_down
+    else begin
+      Fmt.pr "fault timeline (seed %d, mtbf %.0fs, mttr %.0fs):@." seed mtbf
+        mttr;
+      List.iter (fun t -> Fmt.pr "  %a@." Faults.Fault.pp_timed t) faults;
+      Fmt.pr
+        "offered %d, completed %d, availability %.4f (%d aborted, %d \
+         timeouts)@."
+        fo.Sim.offered fo.Sim.run.Sim.completed fo.Sim.availability
+        fo.Sim.aborted fo.Sim.timeouts;
+      Fmt.pr "retried %d requests (%d attempts), avg %.2f ms, p99 %.2f ms@."
+        fo.Sim.retried_requests fo.Sim.retries
+        (1000. *. fo.Sim.run.Sim.avg_response)
+        p99_ms;
+      Fmt.pr
+        "cancelled %.2fs of in-flight work, replayed %.2f MB at %d rejoins, \
+         %.1fs total downtime, max %d down at once@."
+        fo.Sim.cancelled_work fo.Sim.catch_up_mb
+        (List.length fo.Sim.recoveries)
+        total_downtime fo.Sim.max_concurrent_down
+    end;
+    if fo.Sim.availability < min_avail then begin
+      Fmt.epr "chaos: availability %.4f below threshold %.4f@."
+        fo.Sim.availability min_avail;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded chaos experiment: crash/recover/slowdown faults \
+          against a k-safe allocation, with retries, catch-up and \
+          degradation metrics")
+    Term.(
+      const run $ backends_arg $ seed_arg $ mtbf_arg $ mttr_arg
+      $ duration_arg $ rate_arg $ k_arg $ max_down_arg $ min_avail_arg
+      $ json_arg)
+
+(* ------------------------------------------------------------------ *)
 (* journalgen                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -811,5 +965,5 @@ let () =
           (Cmd.info "cdbs" ~version:"1.0.0" ~doc)
           [
             classify_cmd; allocate_cmd; simulate_cmd; experiment_cmd;
-            migrate_cmd; check_cmd; journalgen_cmd;
+            migrate_cmd; check_cmd; chaos_cmd; journalgen_cmd;
           ]))

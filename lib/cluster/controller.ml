@@ -15,6 +15,9 @@ module Planner = Cdbs_migration.Planner
 type backend_state = {
   mutable db : Database.t;
   mutable pending_cost : float;  (** accumulated routed cost, for balance *)
+  mutable up : bool;
+      (* a down backend takes no traffic; its copy diverges and is rebuilt
+         from the master on rejoin *)
 }
 
 (* One table copy in flight: a snapshot "ships" at the configured bandwidth
@@ -76,7 +79,7 @@ let create ~schema ~rows ~backends ~seed =
         | Ok _ -> ()
         | Error e -> invalid_arg ("Controller.create: " ^ e))
       schema;
-    { db; pending_cost = 0. }
+    { db; pending_cost = 0.; up = true }
   in
   {
     schema;
@@ -250,11 +253,13 @@ let submit t sql =
           when List.mem cp.cp_table fp.Analyze.tables ->
             cp.cp_deltas <- sql :: cp.cp_deltas
         | _ -> ());
-        (* ROWA: run on the master and every backend holding the table. *)
+        (* ROWA: run on the master and every up backend holding the table.
+           Down backends miss the write and are rebuilt from the master on
+           rejoin. *)
         let result = Executor.execute t.master stmt in
         Array.iter
           (fun st ->
-            if holds_tables st fp.Analyze.tables then begin
+            if st.up && holds_tables st fp.Analyze.tables then begin
               st.pending_cost <- st.pending_cost +. cost;
               ignore (Executor.execute st.db stmt)
             end)
@@ -262,11 +267,11 @@ let submit t sql =
         result
       end
       else begin
-        (* Least pending eligible backend. *)
+        (* Least pending eligible backend, down backends excluded. *)
         let best = ref None in
         Array.iteri
           (fun i st ->
-            if holds_tables st fp.Analyze.tables then
+            if st.up && holds_tables st fp.Analyze.tables then
               match !best with
               | None -> best := Some i
               | Some j ->
@@ -274,7 +279,7 @@ let submit t sql =
                     best := Some i)
           t.backends;
         match !best with
-        | None -> Error "no backend holds the referenced tables"
+        | None -> Error "no live backend holds the referenced tables"
         | Some i ->
             let st = t.backends.(i) in
             st.pending_cost <- st.pending_cost +. cost;
@@ -443,3 +448,117 @@ let reallocate_live t ?iterations ?bandwidth_mb_per_request () =
         drive_migration t ()
       done;
       Ok plan.Planner.copy_mb
+
+(* ------------------------------------------------------------------ *)
+(* Crash / rejoin lifecycle and k-safety self-repair                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_backend t ~backend ~fn =
+  if backend < 0 || backend >= Array.length t.backends then
+    invalid_arg (fn ^ ": backend out of range")
+
+let is_backend_up t ~backend =
+  check_backend t ~backend ~fn:"Controller.is_backend_up";
+  t.backends.(backend).up
+
+let failed_backends t =
+  let acc = ref [] in
+  Array.iteri (fun i st -> if not st.up then acc := i :: !acc) t.backends;
+  List.rev !acc
+
+let fail_backend t ~backend =
+  check_backend t ~backend ~fn:"Controller.fail_backend";
+  t.backends.(backend).up <- false;
+  t.backends.(backend).pending_cost <- 0.
+
+(* Fragment placement is table-granular at the physical layer; the tables a
+   backend should host under the current allocation (all of them while
+   fully replicated). *)
+let wanted_tables t ~backend =
+  match t.allocation with
+  | None -> List.map (fun tbl -> tbl.Schema.tbl_name) t.schema
+  | Some alloc ->
+      Fragment.Set.fold
+        (fun f acc ->
+          match f.Fragment.kind with
+          | Fragment.Table name -> name :: acc
+          | Fragment.Column { table; _ } | Fragment.Range { table; _ } ->
+              table :: acc)
+        (Allocation.fragments_of alloc backend)
+        []
+      |> List.sort_uniq String.compare
+
+let table_mb t name =
+  float_of_int (table_stats t name).Cdbs_storage.Table_stats.bytes /. 1048576.
+
+(* Install fresh copies of [tables] from the master into the backend,
+   returning the megabytes shipped.  install_table replaces a present
+   (possibly diverged) copy and creates an absent one. *)
+let ship_tables t ~backend tables =
+  let st = t.backends.(backend) in
+  List.fold_left
+    (fun acc tbl ->
+      match Database.install_table ~src:t.master ~dst:st.db tbl with
+      | Ok _ -> acc +. table_mb t tbl
+      | Error e -> invalid_arg ("Controller.ship_tables: " ^ e))
+    0. tables
+
+let rejoin_backend t ~backend =
+  check_backend t ~backend ~fn:"Controller.rejoin_backend";
+  let st = t.backends.(backend) in
+  if st.up then 0.
+  else begin
+    (* Catch-up before re-admission: every hosted table is re-shipped from
+       the authoritative master, folding in all updates missed while down
+       — and any copy obligations a repair assigned to this backend. *)
+    let shipped = ship_tables t ~backend (wanted_tables t ~backend) in
+    st.pending_cost <- 0.;
+    st.up <- true;
+    shipped
+  end
+
+let effective_k t =
+  let failed = failed_backends t in
+  match t.allocation with
+  | None -> Array.length t.backends - List.length failed - 1
+  | Some alloc -> Cdbs_core.Ksafety.effective_k ~failed alloc
+
+let repair t ~k =
+  if t.migration <> None then Error "a live migration is in progress"
+  else if effective_k t >= k then Ok 0.
+  else
+    match t.allocation with
+    | None ->
+        (* Fully replicated: every up backend already holds everything, so
+           effective k is bounded by the surviving node count alone. *)
+        Error "not enough live backends for the requested k"
+    | Some alloc -> (
+        let failed = failed_backends t in
+        match Cdbs_core.Ksafety.repair ~k ~failed alloc with
+        | exception Invalid_argument m -> Error m
+        | gained ->
+            assert_target ~context:"Controller.repair" alloc;
+            (* Materialize the plan on the survivors; obligations of down
+               backends are honored by {!rejoin_backend}'s full rebuild. *)
+            let shipped = ref 0. in
+            Array.iteri
+              (fun b frags ->
+                if t.backends.(b).up && not (Fragment.Set.is_empty frags)
+                then begin
+                  let tables =
+                    Fragment.Set.fold
+                      (fun f acc ->
+                        match f.Fragment.kind with
+                        | Fragment.Table name -> name :: acc
+                        | Fragment.Column { table; _ }
+                        | Fragment.Range { table; _ } ->
+                            table :: acc)
+                      frags []
+                    |> List.sort_uniq String.compare
+                    |> List.filter (fun tbl ->
+                           Database.table t.backends.(b).db tbl = None)
+                  in
+                  shipped := !shipped +. ship_tables t ~backend:b tables
+                end)
+              gained;
+            Ok !shipped)

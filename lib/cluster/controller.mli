@@ -98,3 +98,42 @@ val reallocate_live :
 val stats : t -> int * float
 (** [(processed, total_cost)]: requests processed and their accumulated
     cost since creation. *)
+
+(** {1 Crash / rejoin lifecycle and k-safety self-repair}
+
+    A failed backend takes no traffic: reads route to surviving holders,
+    updates apply ROWA to the master and the up holders only, so the down
+    copy diverges.  {!rejoin_backend} re-admits it only after re-shipping
+    its hosted tables from the authoritative master — the controller-level
+    catch-up gate.  {!repair} restores the k-safety target while serving,
+    by re-replicating under-replicated classes onto survivors. *)
+
+val fail_backend : t -> backend:int -> unit
+(** Mark the backend as crashed (idempotent).
+    @raise Invalid_argument on an out-of-range index. *)
+
+val rejoin_backend : t -> backend:int -> float
+(** Bring a failed backend back: rebuild every table it should host under
+    the current allocation (all tables while fully replicated) from the
+    master, then re-admit it.  Returns the megabytes shipped — the rejoin's
+    catch-up volume, including any copy obligations a {!repair} assigned to
+    the node while it was down.  [0.] when the backend was already up. *)
+
+val is_backend_up : t -> backend:int -> bool
+
+val failed_backends : t -> int list
+(** Indices of currently-failed backends, ascending. *)
+
+val effective_k : t -> int
+(** The k-safety degree in force right now, ignoring failed backends
+    ({!Cdbs_core.Ksafety.effective_k}).  While fully replicated it is the
+    surviving backend count minus 1; [-1] means some query class has no
+    live replica. *)
+
+val repair : t -> k:int -> (float, string) result
+(** Self-repair loop body: when [effective_k t < k], re-replicate every
+    under-replicated query class onto surviving backends
+    ({!Cdbs_core.Ksafety.repair}) and ship the new copies from the master.
+    Returns the megabytes shipped ([0.] when already k-safe).  Fails when a
+    live migration is in progress, no allocation is deployed and too few
+    backends survive, or fewer than [k + 1] backends are up. *)

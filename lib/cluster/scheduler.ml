@@ -8,6 +8,9 @@ type t = {
   class_by_id : (string, Query_class.t) Hashtbl.t;
   free_at : float array;
   up : bool array;
+  stale : bool array;
+      (* up but catching up after a rejoin: takes updates (so the missed
+         volume stops growing) yet serves no reads until caught up *)
   live : Fragment.Set.t array;
       (* fragments each physical node currently serves; in static mode this
          mirrors the allocation's placement *)
@@ -30,6 +33,7 @@ let create alloc =
     class_by_id = class_table alloc;
     free_at = Array.make n 0.;
     up = Array.make n true;
+    stale = Array.make n false;
     live = Array.init n (Allocation.fragments_of alloc);
     dynamic = false;
   }
@@ -42,6 +46,7 @@ let create_dynamic alloc ~live =
     class_by_id = class_table alloc;
     free_at = Array.make n 0.;
     up = Array.make n true;
+    stale = Array.make n false;
     live = Array.map (fun s -> s) live;
     dynamic = true;
   }
@@ -58,10 +63,14 @@ let remove_live t ~backend fragments =
 let serves t b (c : Query_class.t) =
   Fragment.Set.subset c.Query_class.fragments t.live.(b)
 
+(* A backend serves reads only when it is up AND caught up; a stale backend
+   still applies updates so its catch-up backlog stops growing. *)
+let read_capable t b = t.up.(b) && not t.stale.(b)
+
 let live_replicas t c =
   let n = ref 0 in
   for b = 0 to num_nodes t - 1 do
-    if t.up.(b) && serves t b c then incr n
+    if read_capable t b && serves t b c then incr n
   done;
   !n
 
@@ -72,15 +81,16 @@ let live_replicas t c =
    relies on the live fragment sets alone. *)
 let eligible_for_read t c =
   let all = List.init (num_nodes t) (fun b -> b) in
-  if t.dynamic then List.filter (fun b -> t.up.(b) && serves t b c) all
+  if t.dynamic then List.filter (fun b -> read_capable t b && serves t b c) all
   else
     let assigned =
       List.filter
-        (fun b -> t.up.(b) && Allocation.get_assign t.alloc b c > 0.)
+        (fun b -> read_capable t b && Allocation.get_assign t.alloc b c > 0.)
         all
     in
     if assigned <> [] then assigned
-    else List.filter (fun b -> t.up.(b) && Allocation.holds t.alloc b c) all
+    else
+      List.filter (fun b -> read_capable t b && Allocation.holds t.alloc b c) all
 
 let targets_for_update t (c : Query_class.t) =
   List.filter
@@ -91,8 +101,21 @@ let targets_for_update t (c : Query_class.t) =
               (Fragment.Set.inter c.Query_class.fragments t.live.(b))))
     (List.init (num_nodes t) (fun b -> b))
 
-let set_down t ~backend = t.up.(backend) <- false
+let set_down t ~backend =
+  t.up.(backend) <- false;
+  t.stale.(backend) <- false
+
+let set_up ?(stale = false) t ~backend =
+  t.up.(backend) <- true;
+  t.stale.(backend) <- stale
+
+let set_stale t ~backend ~stale =
+  if not t.up.(backend) then
+    invalid_arg "Scheduler.set_stale: backend is down";
+  t.stale.(backend) <- stale
+
 let is_up t ~backend = t.up.(backend)
+let is_stale t ~backend = t.stale.(backend)
 let pending t ~backend ~now = max 0. (t.free_at.(backend) -. now)
 let free_at t ~backend = t.free_at.(backend)
 let book t ~backend ~finish = t.free_at.(backend) <- finish

@@ -30,7 +30,8 @@ val add_live : t -> backend:int -> Cdbs_core.Fragment.Set.t -> unit
 val remove_live : t -> backend:int -> Cdbs_core.Fragment.Set.t -> unit
 
 val live_replicas : t -> Cdbs_core.Query_class.t -> int
-(** Up nodes whose live set contains every fragment of the class. *)
+(** Up, caught-up nodes whose live set contains every fragment of the
+    class — the replicas a read can actually land on right now. *)
 
 val eligible_for_read : t -> Cdbs_core.Query_class.t -> int list
 val targets_for_update : t -> Cdbs_core.Query_class.t -> int list
@@ -51,6 +52,21 @@ val free_at : t -> backend:int -> float
 val set_down : t -> backend:int -> unit
 (** Mark a backend as failed: it receives no further work.  Reads fall back
     to any surviving backend holding their class's data (k-safety standby
-    replicas, Appendix C); updates skip the dead replica. *)
+    replicas, Appendix C); updates skip the dead replica.  Clears any stale
+    flag — a down backend is simply down. *)
+
+val set_up : ?stale:bool -> t -> backend:int -> unit
+(** Rejoin a backend (the dual of {!set_down}).  With [~stale:true] it
+    rejoins in catch-up mode: it takes updates (so its replicas stop
+    falling further behind) but serves no reads until {!set_stale} clears
+    the flag — the crash/recover lifecycle's re-admission gate. *)
+
+val set_stale : t -> backend:int -> stale:bool -> unit
+(** Flip the catch-up flag of an up backend.
+    @raise Invalid_argument when the backend is down. *)
 
 val is_up : t -> backend:int -> bool
+
+val is_stale : t -> backend:int -> bool
+(** Up but still replaying missed updates: excluded from reads,
+    included in update fan-out. *)

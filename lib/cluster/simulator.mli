@@ -45,20 +45,83 @@ val run_open :
     detected and stably sorted by arrival first — open-mode time never runs
     backwards regardless of caller ordering. *)
 
+val class_mb : Cdbs_core.Allocation.t -> Request.t -> float
+(** The megabytes a request's class scans (its fragment footprint, or the
+    request's override). *)
+
+(** {1 Fault injection} *)
+
+type recovery = {
+  rec_backend : int;
+  crashed_at : float;
+  recovered_at : float;  (** when the [Recover] event fired *)
+  mutable caught_up_at : float;
+      (** when the catch-up replay finished and reads were re-admitted;
+          [nan] while pending (or forever, if the backend crashed again
+          before finishing) *)
+  replayed_mb : float;  (** missed update volume replayed at rejoin *)
+}
+
+type fault_outcome = {
+  run : outcome;
+      (** request-level outcome; [errors] counts aborted requests *)
+  offered : int;  (** requests submitted *)
+  availability : float;  (** completed / offered (1.0 when none offered) *)
+  retried_requests : int;  (** distinct reads that needed at least one retry *)
+  retries : int;  (** total retry attempts scheduled *)
+  aborted : int;
+      (** requests abandoned: retry budget exhausted, deadline passed, or
+          (for updates) no live replica to commit on *)
+  timeouts : int;  (** aborts caused by the per-request deadline *)
+  cancelled_work : float;
+      (** in-flight service seconds destroyed by crashes *)
+  catch_up_mb : float;  (** total volume replayed across all rejoins *)
+  recoveries : recovery list;  (** one per completed [Recover], in order *)
+  downtime : float array;  (** per-backend seconds spent down *)
+  max_concurrent_down : int;
+  responses : (float * float) list;
+      (** per completed request, [(original arrival, response)] in arrival
+          order — responses of retried reads span the whole retry chain *)
+}
+
+val run_open_with_faults :
+  ?policy:Cdbs_faults.Retry.policy ->
+  config ->
+  Cdbs_core.Allocation.t ->
+  Request.t list ->
+  faults:Cdbs_faults.Fault.schedule ->
+  fault_outcome
+(** Open-mode replay under a fault timeline, on a true event clock: fault
+    events interleave with arrivals, retries and catch-up completions, and
+    keep being applied after the last arrival (a late crash still cancels
+    queued work).
+
+    [Crash b] takes the backend out of service immediately: its in-flight
+    and queued work is cancelled; cancelled reads are retried on surviving
+    replicas under [policy] (bounded attempts, exponential backoff, a
+    deadline measured from the original arrival); cancelled replica writes
+    are owed at rejoin.  While down, the update volume touching its
+    replicas accrues in a {!Cdbs_migration.Delta} journal (ROWA keeps
+    committing on the survivors).  [Recover b] brings it back {e stale}:
+    it takes updates but serves no reads until the missed volume has been
+    replayed through the journal cost model.  [Slowdown] inflates the
+    backend's service times by [factor] for [duration].
+
+    The schedule is validated first ({!Cdbs_faults.Fault.validate});
+    @raise Invalid_argument on an ill-formed schedule. *)
+
 val run_open_with_failures :
   config ->
   Cdbs_core.Allocation.t ->
   Request.t list ->
   failures:(float * int) list ->
   outcome
-(** Like {!run_open}, but each [(time, backend)] failure takes the backend
-    out of service from that time on.  Requests that no surviving backend
-    can serve count as [errors] — zero for an adequately k-safe allocation
-    (Appendix C). *)
-
-val class_mb : Cdbs_core.Allocation.t -> Request.t -> float
-(** The megabytes a request's class scans (its fragment footprint, or the
-    request's override). *)
+(** Legacy entry point: permanent failures only.  A thin wrapper over
+    {!run_open_with_faults} with the default retry policy, so reads caught
+    on a crashing backend fail over to surviving replicas — an adequately
+    k-safe allocation (Appendix C) reports zero [errors].  Unlike the
+    historical polling implementation, failures timed after the last
+    arrival still cancel queued work. *)
 
 (** {1 Live migration} *)
 

@@ -5,6 +5,27 @@ let class_replica_count alloc c =
   done;
   !count
 
+let surviving_replica_count alloc ~failed c =
+  let count = ref 0 in
+  for b = 0 to Allocation.num_backends alloc - 1 do
+    if (not (List.mem b failed)) && Allocation.holds alloc b c then incr count
+  done;
+  !count
+
+let effective_k ?(failed = []) alloc =
+  let survivors =
+    let n = Allocation.num_backends alloc in
+    let s = ref 0 in
+    for b = 0 to n - 1 do
+      if not (List.mem b failed) then incr s
+    done;
+    !s
+  in
+  List.fold_left
+    (fun acc c -> min acc (surviving_replica_count alloc ~failed c - 1))
+    (survivors - 1)
+    (Workload.all_classes (Allocation.workload alloc))
+
 let is_k_safe ~k alloc =
   List.for_all
     (fun c -> class_replica_count alloc c >= k + 1)
@@ -32,14 +53,15 @@ let closure_fragments workload c =
 (* Place one additional replica of [c] on the backend that does not yet hold
    it and needs the least new data; ties broken by lowest relative load
    (Algorithm 4 sets the difference to infinity for backends already
-   holding a replica). *)
-let place_replica alloc c =
+   holding a replica).  Backends in [avoid] (failed nodes, during repair)
+   are never chosen. *)
+let place_replica_avoiding alloc ~avoid c =
   let workload = Allocation.workload alloc in
   let n = Allocation.num_backends alloc in
   let backends = Allocation.backends alloc in
   let best = ref (-1) and best_key = ref (infinity, infinity) in
   for b = 0 to n - 1 do
-    if not (Allocation.holds alloc b c) then begin
+    if (not (List.mem b avoid)) && not (Allocation.holds alloc b c) then begin
       let extra =
         Fragment.set_size
           (Fragment.Set.diff
@@ -61,6 +83,8 @@ let place_replica alloc c =
       Allocation.add_fragments alloc b (closure_fragments workload c);
       Allocation.ensure_update_closure alloc;
       true
+
+let place_replica alloc c = place_replica_avoiding alloc ~avoid:[] c
 
 let replicate_all_classes ~k alloc =
   let workload = Allocation.workload alloc in
@@ -119,3 +143,29 @@ let replicate_fragments ~k alloc =
       end)
     (Workload.fragments (Allocation.workload alloc));
   Allocation.ensure_update_closure alloc
+
+let repair ~k ~failed alloc =
+  if k < 0 then invalid_arg "Ksafety.repair: negative k";
+  let n = Allocation.num_backends alloc in
+  let failed = List.sort_uniq Int.compare failed in
+  let survivors = n - List.length (List.filter (fun b -> b < n) failed) in
+  if k + 1 > survivors then
+    invalid_arg "Ksafety.repair: k+1 exceeds the surviving backends";
+  let before = Array.init n (Allocation.fragments_of alloc) in
+  (* Heaviest first, as in Algorithm 4: their replicas bring the most data
+     and constrain placement the most. *)
+  let classes =
+    List.sort
+      (fun a b -> Stdlib.compare b.Query_class.weight a.Query_class.weight)
+      (Workload.all_classes (Allocation.workload alloc))
+  in
+  List.iter
+    (fun c ->
+      let missing = (k + 1) - surviving_replica_count alloc ~failed c in
+      for _ = 1 to missing do
+        ignore (place_replica_avoiding alloc ~avoid:failed c)
+      done)
+    classes;
+  Allocation.ensure_update_closure alloc;
+  Array.init n (fun b ->
+      Fragment.Set.diff (Allocation.fragments_of alloc b) before.(b))

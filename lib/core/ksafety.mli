@@ -28,3 +28,20 @@ val is_k_safe : k:int -> Allocation.t -> bool
 val survives : Allocation.t -> failed:int list -> bool
 (** Whether every query class can still be processed locally by some
     surviving backend after the listed backends fail. *)
+
+val effective_k : ?failed:int list -> Allocation.t -> int
+(** The k-safety degree actually in force: the minimum over query classes
+    of (surviving replicas - 1), restricted to backends outside [failed].
+    [-1] means some class is not served at all; an allocation built with
+    {!allocate}[ ~k] reports [k] while every backend is up, and degrades by
+    one per failed replica holder.  With an empty workload it is the
+    surviving backend count minus 1. *)
+
+val repair : k:int -> failed:int list -> Allocation.t -> Fragment.Set.t array
+(** Restore [effective_k ~failed] to at least [k] by re-replicating every
+    under-replicated class onto surviving backends (Algorithm 4's placement
+    rule, restricted to non-failed nodes), in place.  Returns the fragments
+    each backend gained — the copy obligations a controller must ship to
+    materialize the repair (entries for failed backends become due when the
+    node rejoins).  @raise Invalid_argument when [k + 1] exceeds the number
+    of surviving backends. *)

@@ -1,0 +1,70 @@
+module Rng = Cdbs_util.Rng
+
+type params = {
+  mtbf : float;
+  mttr : float;
+  horizon : float;
+  slowdown_prob : float;
+  slowdown_factor : float;
+  max_concurrent_down : int option;
+}
+
+let default =
+  {
+    mtbf = 120.;
+    mttr = 25.;
+    horizon = 600.;
+    slowdown_prob = 0.25;
+    slowdown_factor = 3.;
+    max_concurrent_down = None;
+  }
+
+(* One fault incident of a backend's renewal process. *)
+type incident = { b : int; start : float; stop : float; slow : bool }
+
+let generate ~rng ~num_backends p =
+  if num_backends <= 0 then invalid_arg "Chaos.generate: num_backends <= 0";
+  if p.mtbf <= 0. || p.mttr <= 0. || p.horizon <= 0. then
+    invalid_arg "Chaos.generate: mtbf, mttr and horizon must be positive";
+  if p.slowdown_prob < 0. || p.slowdown_prob > 1. then
+    invalid_arg "Chaos.generate: slowdown_prob outside [0,1]";
+  if p.slowdown_factor < 1. then
+    invalid_arg "Chaos.generate: slowdown_factor < 1";
+  let incidents = ref [] in
+  for b = 0 to num_backends - 1 do
+    (* Per-backend generator split off the seed stream: adding a backend
+       does not perturb the others' timelines. *)
+    let g = Rng.split rng in
+    let t = ref (Rng.exponential g p.mtbf) in
+    while !t < p.horizon do
+      let duration = max 1e-3 (Rng.exponential g p.mttr) in
+      let slow = Rng.float g 1. < p.slowdown_prob in
+      incidents := { b; start = !t; stop = !t +. duration; slow } :: !incidents;
+      t := !t +. duration +. Rng.exponential g p.mtbf
+    done
+  done;
+  let incidents =
+    List.stable_sort (fun a b -> Float.compare a.start b.start) !incidents
+  in
+  (* Enforce the concurrency cap in start order: an incident that would
+     push the number of simultaneously crashed backends past the cap is
+     dropped together with its recover. *)
+  let cap = match p.max_concurrent_down with Some c -> c | None -> max_int in
+  let down = ref [] (* (backend, stop) of admitted crashes *) in
+  let events =
+    List.concat_map
+      (fun i ->
+        down := List.filter (fun (_, stop) -> stop > i.start) !down;
+        if i.slow then
+          [
+            Fault.slowdown ~at:i.start ~backend:i.b ~factor:p.slowdown_factor
+              ~duration:(i.stop -. i.start);
+          ]
+        else if List.length !down >= cap then []
+        else begin
+          down := (i.b, i.stop) :: !down;
+          [ Fault.crash ~at:i.start i.b; Fault.recover ~at:i.stop i.b ]
+        end)
+      incidents
+  in
+  Fault.sort events

@@ -1,0 +1,33 @@
+(** Seeded chaos-schedule generator.
+
+    Each backend runs an independent alternating renewal process: up for an
+    exponentially distributed time with mean [mtbf], then faulted for an
+    exponentially distributed time with mean [mttr] (a crash followed by a
+    recover, or — with probability [slowdown_prob] — a slowdown of the same
+    duration), and so on until [horizon].  Equal seeds yield equal
+    schedules, so every chaos run is reproducible.
+
+    [max_concurrent_down] caps how many backends may be crashed at once:
+    incidents that would exceed the cap are skipped (slowdowns are not
+    counted — a slow backend still serves).  Setting it to the allocation's
+    k-safety degree keeps every run within the paper's availability
+    guarantee (Appendix C); leaving it unbounded probes behaviour beyond
+    the guarantee. *)
+
+type params = {
+  mtbf : float;  (** mean up-time between faults per backend, seconds *)
+  mttr : float;  (** mean fault duration, seconds *)
+  horizon : float;  (** no fault starts after this time *)
+  slowdown_prob : float;  (** chance a fault is a slowdown, not a crash *)
+  slowdown_factor : float;  (** service-time inflation of slowdowns *)
+  max_concurrent_down : int option;
+}
+
+val default : params
+(** MTBF 120 s, MTTR 25 s, horizon 600 s, 25 % slowdowns at 3x, no
+    concurrency cap. *)
+
+val generate :
+  rng:Cdbs_util.Rng.t -> num_backends:int -> params -> Fault.schedule
+(** A validated, time-ordered schedule.  @raise Invalid_argument on
+    non-positive [mtbf]/[mttr]/[horizon] or [num_backends <= 0]. *)

@@ -1,0 +1,66 @@
+type event =
+  | Crash of int
+  | Recover of int
+  | Slowdown of { backend : int; factor : float; duration : float }
+
+type timed = { at : float; event : event }
+type schedule = timed list
+
+let crash ~at b = { at; event = Crash b }
+let recover ~at b = { at; event = Recover b }
+
+let slowdown ~at ~backend ~factor ~duration =
+  if factor < 1. then invalid_arg "Fault.slowdown: factor < 1";
+  if duration <= 0. then invalid_arg "Fault.slowdown: duration <= 0";
+  { at; event = Slowdown { backend; factor; duration } }
+
+let backend = function
+  | Crash b | Recover b | Slowdown { backend = b; _ } -> b
+
+let sort schedule =
+  List.stable_sort (fun a b -> Float.compare a.at b.at) schedule
+
+let of_failures failures =
+  sort (List.map (fun (at, b) -> crash ~at b) failures)
+
+let validate ~num_backends schedule =
+  let up = Array.make (max 1 num_backends) true in
+  let rec go = function
+    | [] -> Ok ()
+    | { at; event } :: rest -> (
+        let b = backend event in
+        if b < 0 || b >= num_backends then
+          Error (Printf.sprintf "event at %g targets backend %d of %d" at b
+                   num_backends)
+        else
+          match event with
+          | Crash _ ->
+              if not up.(b) then
+                Error (Printf.sprintf "crash at %g: backend %d already down"
+                         at b)
+              else begin up.(b) <- false; go rest end
+          | Recover _ ->
+              if up.(b) then
+                Error (Printf.sprintf "recover at %g: backend %d is not down"
+                         at b)
+              else begin up.(b) <- true; go rest end
+          | Slowdown { factor; duration; _ } ->
+              if factor < 1. then
+                Error (Printf.sprintf "slowdown at %g: factor %g < 1" at factor)
+              else if duration <= 0. then
+                Error (Printf.sprintf "slowdown at %g: duration %g <= 0" at
+                         duration)
+              else go rest)
+  in
+  go (sort schedule)
+
+let pp_event ppf = function
+  | Crash b -> Fmt.pf ppf "crash B%d" (b + 1)
+  | Recover b -> Fmt.pf ppf "recover B%d" (b + 1)
+  | Slowdown { backend; factor; duration } ->
+      Fmt.pf ppf "slowdown B%d x%.2f for %.1fs" (backend + 1) factor duration
+
+let pp_timed ppf { at; event } = Fmt.pf ppf "%8.2fs %a" at pp_event event
+
+let pp ppf schedule =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_timed) schedule

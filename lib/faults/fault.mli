@@ -1,0 +1,56 @@
+(** Typed fault timelines for the cluster simulator.
+
+    A fault schedule is a time-ordered list of events injected into an
+    open-mode run.  Event semantics:
+
+    - [Crash b]: backend [b] leaves the cluster.  Work in flight or queued
+      on it is cancelled; reads are retried on surviving replicas under the
+      run's {!Retry.policy}; updates keep flowing ROWA to the survivors
+      while the crashed backend's replicas go stale (their missed update
+      volume accumulates in a delta journal).
+    - [Recover b]: backend [b] rejoins.  It first catches up — replaying
+      the update volume it missed while down — during which it accepts
+      updates but serves no reads; once caught up it is re-admitted fully.
+    - [Slowdown]: backend [b] serves at [factor] times its normal service
+      time for [duration] seconds (a degraded-but-alive node: overloaded
+      disk, failing NIC, noisy neighbour).
+
+    Schedules are plain data so they can be generated ({!Chaos}), stored,
+    printed and validated independently of the simulator executing them. *)
+
+type event =
+  | Crash of int  (** backend index *)
+  | Recover of int
+  | Slowdown of { backend : int; factor : float; duration : float }
+
+type timed = { at : float; event : event }
+
+type schedule = timed list
+(** Time-ordered ({!sort} enforces it; the simulator re-sorts anyway). *)
+
+val crash : at:float -> int -> timed
+val recover : at:float -> int -> timed
+
+val slowdown :
+  at:float -> backend:int -> factor:float -> duration:float -> timed
+(** @raise Invalid_argument when [factor < 1.] or [duration <= 0.]. *)
+
+val backend : event -> int
+(** The backend an event acts on. *)
+
+val sort : schedule -> schedule
+(** Stable sort by timestamp ([Float.compare], not polymorphic compare). *)
+
+val of_failures : (float * int) list -> schedule
+(** Lift the legacy [(time, backend)] permanent-failure list into a
+    crash-only schedule (the {!Simulator.run_open_with_failures}
+    compatibility shape). *)
+
+val validate : num_backends:int -> schedule -> (unit, string) result
+(** Structural checks: backend indices in range, slowdown parameters sane,
+    and per-backend crash/recover alternation (no crash of a crashed
+    backend, no recover of a running one). *)
+
+val pp_event : event Fmt.t
+val pp_timed : timed Fmt.t
+val pp : schedule Fmt.t

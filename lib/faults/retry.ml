@@ -1,0 +1,29 @@
+type policy = {
+  max_retries : int;
+  timeout : float;
+  backoff_base : float;
+  backoff_multiplier : float;
+}
+
+let default =
+  { max_retries = 3; timeout = 30.; backoff_base = 0.05; backoff_multiplier = 2. }
+
+let no_retry = { default with max_retries = 0 }
+
+let make ?(max_retries = default.max_retries) ?(timeout = default.timeout)
+    ?(backoff_base = default.backoff_base)
+    ?(backoff_multiplier = default.backoff_multiplier) () =
+  if max_retries < 0 then invalid_arg "Retry.make: negative max_retries";
+  if timeout <= 0. then invalid_arg "Retry.make: timeout <= 0";
+  if backoff_base <= 0. then invalid_arg "Retry.make: backoff_base <= 0";
+  if backoff_multiplier < 1. then
+    invalid_arg "Retry.make: backoff_multiplier < 1";
+  { max_retries; timeout; backoff_base; backoff_multiplier }
+
+let backoff p ~attempt =
+  if attempt < 1 then invalid_arg "Retry.backoff: attempt < 1";
+  p.backoff_base *. (p.backoff_multiplier ** float_of_int (attempt - 1))
+
+let gives_up p ~attempt = attempt > p.max_retries
+
+let timed_out p ~arrival ~now = now -. arrival > p.timeout

@@ -1,0 +1,45 @@
+(** Retry policy for work lost to a backend crash.
+
+    A read whose backend dies mid-service (or that cannot be routed at all
+    because every replica is down) is retried on the surviving replicas:
+    each attempt waits an exponentially growing backoff, the request is
+    abandoned once it exhausts [max_retries] additional attempts or its
+    total sojourn exceeds [timeout] seconds.  Updates are never retried —
+    ROWA already applied them on every surviving replica, and the crashed
+    replica's missed volume is recovered through the catch-up journal. *)
+
+type policy = {
+  max_retries : int;  (** additional attempts after the first (>= 0) *)
+  timeout : float;
+      (** per-request deadline in seconds measured from the original
+          arrival; [infinity] disables it *)
+  backoff_base : float;  (** delay before the first retry, seconds *)
+  backoff_multiplier : float;  (** growth factor per further attempt *)
+}
+
+val default : policy
+(** 3 retries, 30 s timeout, 50 ms base backoff doubling per attempt. *)
+
+val no_retry : policy
+(** Give up immediately: crash-orphaned work counts as an error. *)
+
+val make :
+  ?max_retries:int ->
+  ?timeout:float ->
+  ?backoff_base:float ->
+  ?backoff_multiplier:float ->
+  unit ->
+  policy
+(** {!default} with overrides.  @raise Invalid_argument on a negative
+    retry count, non-positive timeout/base or multiplier < 1. *)
+
+val backoff : policy -> attempt:int -> float
+(** Delay inserted before retry [attempt] (1-based):
+    [backoff_base *. backoff_multiplier ^ (attempt - 1)]. *)
+
+val gives_up : policy -> attempt:int -> bool
+(** Whether retry [attempt] exceeds the policy's budget. *)
+
+val timed_out : policy -> arrival:float -> now:float -> bool
+(** Whether a request that arrived at [arrival] has exceeded its deadline
+    at [now]. *)

@@ -19,4 +19,9 @@ if dune exec bin/cdbs_cli.exe -- check -w quickstart --inject locality >/dev/nul
   exit 1
 fi
 
+# Chaos smoke: a seeded fault schedule against a 1-safe allocation must
+# keep availability at 1.0 (the run exits non-zero below the threshold).
+dune exec bin/cdbs_cli.exe -- chaos --seed 7 -n 4 -k 1 --max-down 1 \
+  --duration 300 --rate 10 --json --min-availability 1.0
+
 echo "check: OK"

@@ -9,6 +9,7 @@ let () =
       ("allocation", Test_allocation.suite);
       ("physical", Test_physical.suite);
       ("ksafety", Test_ksafety.suite);
+      ("faults", Test_faults.suite);
       ("cluster", Test_cluster.suite);
       ("migration", Test_migration.suite);
       ("protocol", Test_protocol.suite);
