@@ -282,14 +282,14 @@ let experiment_cmd =
                   ("tables", `Tables); ("tpch", `Tpch); ("tpcapp", `Tpcapp);
                   ("balance", `Balance); ("elastic", `Elastic);
                   ("ablation", `Ablation); ("migration", `Migration);
-                  ("faults", `Faults);
+                  ("faults", `Faults); ("overload", `Overload);
                 ]))
           None
       & info [] ~docv:"SECTION"
           ~doc:
             "Experiment section: $(b,tables), $(b,tpch), $(b,tpcapp), \
-             $(b,balance), $(b,elastic), $(b,ablation), $(b,migration) or \
-             $(b,faults).")
+             $(b,balance), $(b,elastic), $(b,ablation), $(b,migration), \
+             $(b,faults) or $(b,overload).")
   in
   let run = function
     | `Tables -> Cdbs_experiments.Tables.print_all ()
@@ -300,6 +300,7 @@ let experiment_cmd =
     | `Ablation -> Cdbs_experiments.Ablation.print_all ()
     | `Migration -> Cdbs_experiments.Fig_migration.print_all ()
     | `Faults -> Cdbs_experiments.Fig_faults.print_all ()
+    | `Overload -> Cdbs_experiments.Fig_overload.print_all ()
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run a paper-reproduction experiment section")
@@ -866,26 +867,32 @@ let chaos_cmd =
              | _ -> false)
            faults)
     in
-    let p99_ms =
-      match fo.Sim.responses with
-      | [] -> 0.
-      | rs -> 1000. *. Cdbs_util.Stats.percentile 99. (List.map snd rs)
-    in
+    let p50_ms = 1000. *. fo.Sim.run.Sim.p50_response in
+    let p95_ms = 1000. *. fo.Sim.run.Sim.p95_response in
+    let p99_ms = 1000. *. fo.Sim.run.Sim.p99_response in
     let total_downtime = Array.fold_left ( +. ) 0. fo.Sim.downtime in
+    let utilization = fo.Sim.run.Sim.utilization in
+    let json_floats a =
+      String.concat ","
+        (Array.to_list (Array.map (Printf.sprintf "%.4f") a))
+    in
     if json then
       Printf.printf
         "{\"seed\":%d,\"backends\":%d,\"k\":%d,\"mtbf\":%g,\"mttr\":%g,\
          \"duration\":%g,\"rate\":%g,\"fault_events\":%d,\"crashes\":%d,\
          \"offered\":%d,\"completed\":%d,\"availability\":%.6f,\
          \"aborted\":%d,\"timeouts\":%d,\"retried_requests\":%d,\
-         \"retries\":%d,\"avg_response_ms\":%.3f,\"p99_response_ms\":%.3f,\
+         \"retries\":%d,\"avg_response_ms\":%.3f,\"p50_response_ms\":%.3f,\
+         \"p95_response_ms\":%.3f,\"p99_response_ms\":%.3f,\
+         \"utilization\":[%s],\
          \"cancelled_work_s\":%.3f,\"catch_up_mb\":%.3f,\"recoveries\":%d,\
          \"downtime_s\":%.3f,\"max_concurrent_down\":%d}\n"
         seed n k mtbf mttr duration rate (List.length faults) crashes
         fo.Sim.offered fo.Sim.run.Sim.completed fo.Sim.availability
         fo.Sim.aborted fo.Sim.timeouts fo.Sim.retried_requests fo.Sim.retries
         (1000. *. fo.Sim.run.Sim.avg_response)
-        p99_ms fo.Sim.cancelled_work fo.Sim.catch_up_mb
+        p50_ms p95_ms p99_ms (json_floats utilization) fo.Sim.cancelled_work
+        fo.Sim.catch_up_mb
         (List.length fo.Sim.recoveries)
         total_downtime fo.Sim.max_concurrent_down
     else begin
@@ -897,10 +904,15 @@ let chaos_cmd =
          timeouts)@."
         fo.Sim.offered fo.Sim.run.Sim.completed fo.Sim.availability
         fo.Sim.aborted fo.Sim.timeouts;
-      Fmt.pr "retried %d requests (%d attempts), avg %.2f ms, p99 %.2f ms@."
+      Fmt.pr
+        "retried %d requests (%d attempts), avg %.2f ms, p50 %.2f, p95 \
+         %.2f, p99 %.2f ms@."
         fo.Sim.retried_requests fo.Sim.retries
         (1000. *. fo.Sim.run.Sim.avg_response)
-        p99_ms;
+        p50_ms p95_ms p99_ms;
+      Fmt.pr "utilization per backend: %a@."
+        Fmt.(array ~sep:sp (fmt "%.3f"))
+        utilization;
       Fmt.pr
         "cancelled %.2fs of in-flight work, replayed %.2f MB at %d rejoins, \
          %.1fs total downtime, max %d down at once@."
@@ -924,6 +936,155 @@ let chaos_cmd =
       const run $ backends_arg $ seed_arg $ mtbf_arg $ mttr_arg
       $ duration_arg $ rate_arg $ k_arg $ max_down_arg $ min_avail_arg
       $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* overload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let overload_cmd =
+  let module Fo = Cdbs_experiments.Fig_overload in
+  let seed_arg =
+    Arg.(
+      value & opt int 11
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Random seed for the workload and jitter (deterministic).")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 240.
+      & info [ "rate" ] ~docv:"REQ/S" ~doc:"Offered request rate.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 120.
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Run length.")
+  in
+  let slow_factor_arg =
+    Arg.(
+      value & opt float 3.
+      & info [ "slow-factor" ] ~docv:"FACTOR"
+          ~doc:
+            "Service-time multiplier of the gray-failing backend (slowed \
+             for the middle half of the run).")
+  in
+  let slow_backend_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "slow-backend" ] ~docv:"B"
+          ~doc:
+            "Backend to slow down (default: the busiest backend of a clean \
+             probe run).")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float 1.
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"End-to-end deadline budget clients abandon requests at.")
+  in
+  let max_p99_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "max-p99-ms" ] ~docv:"MS"
+          ~doc:
+            "Exit non-zero when the defended run's p99 exceeds this — the \
+             CI smoke-test hook.")
+  in
+  let max_shed_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "max-shed-rate" ] ~docv:"FRACTION"
+          ~doc:
+            "Exit non-zero when the defended run sheds more than this \
+             fraction of offered requests.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the outcome as machine-readable JSON.")
+  in
+  let run n seed rate duration slow_factor slow_backend deadline json
+      max_p99 max_shed =
+    let victim, c =
+      Fo.compare_at ~nodes:n ~seed ~duration ~slow_factor
+        ~deadline_s:deadline ?slow_backend ~rate_per_s:rate ()
+    in
+    let d = c.Fo.defended and u = c.Fo.undefended in
+    let shed_rate = float_of_int d.Fo.shed /. float_of_int (max 1 d.Fo.offered) in
+    let ok, violations = Fo.acceptance c in
+    let json_floats a =
+      String.concat ","
+        (Array.to_list (Array.map (Printf.sprintf "%.4f") a))
+    in
+    if json then
+      Printf.printf
+        "{\"seed\":%d,\"backends\":%d,\"rate\":%g,\"duration\":%g,\
+         \"slow_backend\":%d,\"slow_factor\":%g,\"deadline_s\":%g,\
+         \"undefended\":{\"availability\":%.6f,\"p50_ms\":%.3f,\
+         \"p95_ms\":%.3f,\"p99_ms\":%.3f,\"shed\":%d,\"timeouts\":%d,\
+         \"wasted_s\":%.3f},\
+         \"defended\":{\"availability\":%.6f,\"p50_ms\":%.3f,\
+         \"p95_ms\":%.3f,\"p99_ms\":%.3f,\"shed\":%d,\"shed_updates\":%d,\
+         \"timeouts\":%d,\"hedged\":%d,\"hedge_wins\":%d,\
+         \"breaker_trips\":%d,\"wasted_s\":%.3f,\"shed_rate\":%.6f,\
+         \"utilization\":[%s]},\
+         \"acceptance\":%b}\n"
+        seed n rate duration victim slow_factor deadline u.Fo.availability
+        u.Fo.p50_ms u.Fo.p95_ms u.Fo.p99_ms u.Fo.shed u.Fo.timeouts
+        u.Fo.wasted_s d.Fo.availability d.Fo.p50_ms d.Fo.p95_ms d.Fo.p99_ms
+        d.Fo.shed d.Fo.shed_updates d.Fo.timeouts d.Fo.hedged d.Fo.hedge_wins
+        d.Fo.breaker_trips d.Fo.wasted_s shed_rate
+        (json_floats d.Fo.utilization)
+        ok
+    else begin
+      Fmt.pr
+        "overload: %d backends, %.0f req/s for %.0fs, backend %d at x%.1f \
+         for the middle half, deadline %.2fs@."
+        n rate duration victim slow_factor deadline;
+      Fmt.pr "  %a@." Fo.pp_stats ("undefended", u);
+      Fmt.pr "  %a@." Fo.pp_stats ("defended", d);
+      Fmt.pr "  defended utilization: %a  (shed rate %.4f)@."
+        Fmt.(array ~sep:sp (fmt "%.3f"))
+        d.Fo.utilization shed_rate;
+      if ok then Fmt.pr "  acceptance: ok@."
+      else begin
+        Fmt.pr "  acceptance FAILED:@.";
+        List.iter (fun v -> Fmt.pr "    - %s@." v) violations
+      end
+    end;
+    let gate_violations =
+      violations
+      @ (match max_p99 with
+        | Some t when d.Fo.p99_ms > t ->
+            [
+              Printf.sprintf "defended p99 %.1f ms above threshold %.1f ms"
+                d.Fo.p99_ms t;
+            ]
+        | _ -> [])
+      @
+      match max_shed with
+      | Some t when shed_rate > t ->
+          [
+            Printf.sprintf "defended shed rate %.4f above threshold %.4f"
+              shed_rate t;
+          ]
+      | _ -> []
+    in
+    if gate_violations <> [] then begin
+      List.iter (fun v -> Fmt.epr "overload: %s@." v) gate_violations;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "overload"
+       ~doc:
+         "Run the overload / gray-failure experiment at one offered rate: \
+          undefended vs defended (admission control, circuit breakers, \
+          hedged reads, deadline budgets), with acceptance and CI threshold \
+          gates")
+    Term.(
+      const run $ backends_arg $ seed_arg $ rate_arg $ duration_arg
+      $ slow_factor_arg $ slow_backend_arg $ deadline_arg $ json_arg
+      $ max_p99_arg $ max_shed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* journalgen                                                          *)
@@ -965,5 +1126,5 @@ let () =
           (Cmd.info "cdbs" ~version:"1.0.0" ~doc)
           [
             classify_cmd; allocate_cmd; simulate_cmd; experiment_cmd;
-            migrate_cmd; check_cmd; chaos_cmd; journalgen_cmd;
+            migrate_cmd; check_cmd; chaos_cmd; overload_cmd; journalgen_cmd;
           ]))

@@ -11,6 +11,7 @@ module Memetic = Cdbs_core.Memetic
 module Backend = Cdbs_core.Backend
 module Physical = Cdbs_core.Physical
 module Planner = Cdbs_migration.Planner
+module Breaker = Cdbs_resilience.Breaker
 
 type backend_state = {
   mutable db : Database.t;
@@ -59,6 +60,10 @@ type t = {
   backends : backend_state array;
   journal : Journal.t;
   rng : Cdbs_util.Rng.t;
+  mutable breaker : Breaker.t;
+      (* per-backend circuit breaker over read routing; its clock is the
+         controller's request counter, so cool-downs are measured in
+         submitted statements *)
   mutable allocation : Allocation.t option;
   mutable migration : migration_state option;
   mutable processed : int;
@@ -89,6 +94,7 @@ let create ~schema ~rows ~backends ~seed =
     backends = Array.init backends (fun _ -> mk ());
     journal = Journal.create ();
     rng;
+    breaker = Breaker.create backends;
     allocation = None;
     migration = None;
     processed = 0;
@@ -267,27 +273,56 @@ let submit t sql =
         result
       end
       else begin
-        (* Least pending eligible backend, down backends excluded. *)
-        let best = ref None in
-        Array.iteri
-          (fun i st ->
-            if st.up && holds_tables st fp.Analyze.tables then
-              match !best with
-              | None -> best := Some i
-              | Some j ->
-                  if st.pending_cost < t.backends.(j).pending_cost then
-                    best := Some i)
-          t.backends;
-        match !best with
+        (* Least pending eligible backend, down backends excluded.  The
+           circuit breaker then steers around slow-but-alive backends:
+           candidates whose breaker is open are skipped unless every
+           candidate's is (fail open — a suspect replica still beats
+           refusing the read). *)
+        let pick ~use_breaker =
+          let best = ref None in
+          Array.iteri
+            (fun i st ->
+              if
+                st.up
+                && holds_tables st fp.Analyze.tables
+                && ((not use_breaker)
+                   || Breaker.allows t.breaker ~backend:i ~now:t.clock)
+              then
+                match !best with
+                | None -> best := Some i
+                | Some j ->
+                    if st.pending_cost < t.backends.(j).pending_cost then
+                      best := Some i)
+            t.backends;
+          !best
+        in
+        let best =
+          match pick ~use_breaker:true with
+          | Some _ as b -> b
+          | None -> pick ~use_breaker:false
+        in
+        match best with
         | None -> Error "no live backend holds the referenced tables"
-        | Some i ->
+        | Some i -> (
             let st = t.backends.(i) in
             st.pending_cost <- st.pending_cost +. cost;
-            Executor.execute st.db stmt
+            match Executor.execute st.db stmt with
+            | Ok _ as ok ->
+                (* The estimated cost stands in for measured latency. *)
+                Breaker.record_success t.breaker ~backend:i ~now:t.clock
+                  ~latency:cost;
+                ok
+            | Error _ as err ->
+                Breaker.record_failure t.breaker ~backend:i ~now:t.clock;
+                err)
       end)
 
 let journal t = t.journal
 let allocation t = t.allocation
+let breaker t = t.breaker
+
+let set_breaker_config t config =
+  t.breaker <- Breaker.create ~config (Array.length t.backends)
 
 let backend_tables t =
   Array.to_list
@@ -514,6 +549,9 @@ let rejoin_backend t ~backend =
     let shipped = ship_tables t ~backend (wanted_tables t ~backend) in
     st.pending_cost <- 0.;
     st.up <- true;
+    (* The rebuilt copy starts with a clean bill of health: stale latency
+       statistics from before the crash would only delay re-admission. *)
+    Breaker.force_close t.breaker ~backend;
     shipped
   end
 

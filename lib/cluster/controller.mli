@@ -22,17 +22,35 @@ val create :
   t
 (** Bootstrap: generate data, start [backends] fully replicated backend
     databases (the paper's initial configuration used to collect a first
-    weight distribution). *)
+    weight distribution).  Read routing is guarded by a circuit breaker
+    with {!Cdbs_resilience.Breaker.default_config}; see
+    {!set_breaker_config}. *)
 
 val submit : t -> string -> (Cdbs_storage.Executor.result, string) result
 (** Route and execute one SQL statement; reads run on the least-pending
     eligible backend, updates on every backend holding the touched tables
     (and on the controller's authoritative master copy).  The request and
-    its cost are recorded in the query history. *)
+    its cost are recorded in the query history.
+
+    Read routing consults the circuit breaker: backends whose breaker is
+    open are skipped unless every eligible backend's is (fail open).
+    Each read's estimated cost feeds the breaker as a latency sample;
+    execution errors feed its error window.  The breaker clock is the
+    controller's request counter, so [cool_down] is measured in submitted
+    statements. *)
 
 val journal : t -> Cdbs_core.Journal.t
 val allocation : t -> Cdbs_core.Allocation.t option
 (** [None] while fully replicated (before the first reallocation). *)
+
+val breaker : t -> Cdbs_resilience.Breaker.t
+(** The controller's circuit breaker — inspect per-backend health or
+    force states ({!Cdbs_resilience.Breaker.force_open}) for operational
+    overrides and tests. *)
+
+val set_breaker_config : t -> Cdbs_resilience.Breaker.config -> unit
+(** Replace the breaker with a fresh one under [config] (all backends
+    Closed, statistics cleared). *)
 
 val backend_tables : t -> string list list
 (** Per backend, the tables it currently stores. *)

@@ -79,18 +79,29 @@ let live_replicas t c =
    k-safety standby replicas) are used only when no assigned backend
    exists.  In dynamic mode the placement is mid-migration, so routing
    relies on the live fragment sets alone. *)
-let eligible_for_read t c =
+let eligible_for_read ?healthy t c =
   let all = List.init (num_nodes t) (fun b -> b) in
-  if t.dynamic then List.filter (fun b -> read_capable t b && serves t b c) all
-  else
-    let assigned =
-      List.filter
-        (fun b -> read_capable t b && Allocation.get_assign t.alloc b c > 0.)
-        all
-    in
-    if assigned <> [] then assigned
+  let base =
+    if t.dynamic then
+      List.filter (fun b -> read_capable t b && serves t b c) all
     else
-      List.filter (fun b -> read_capable t b && Allocation.holds t.alloc b c) all
+      let assigned =
+        List.filter
+          (fun b -> read_capable t b && Allocation.get_assign t.alloc b c > 0.)
+          all
+      in
+      if assigned <> [] then assigned
+      else
+        List.filter
+          (fun b -> read_capable t b && Allocation.holds t.alloc b c)
+          all
+  in
+  match healthy with
+  | None -> base
+  | Some ok -> (
+      (* Fail open: when every replica's breaker is open, serving from a
+         suspect backend beats refusing the read outright. *)
+      match List.filter ok base with [] -> base | filtered -> filtered)
 
 let targets_for_update t (c : Query_class.t) =
   List.filter
@@ -120,7 +131,7 @@ let pending t ~backend ~now = max 0. (t.free_at.(backend) -. now)
 let free_at t ~backend = t.free_at.(backend)
 let book t ~backend ~finish = t.free_at.(backend) <- finish
 
-let route t ~now (r : Request.t) =
+let route ?healthy t ~now (r : Request.t) =
   match Hashtbl.find_opt t.class_by_id r.Request.class_id with
   | None -> Error ("unknown query class " ^ r.Request.class_id)
   | Some c ->
@@ -130,7 +141,7 @@ let route t ~now (r : Request.t) =
         | targets -> Ok targets
       end
       else begin
-        match eligible_for_read t c with
+        match eligible_for_read ?healthy t c with
         | [] -> Error ("read class " ^ c.Query_class.id ^ " is not served")
         | candidates ->
             (* Least pending request first. *)

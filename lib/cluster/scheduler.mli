@@ -33,12 +33,21 @@ val live_replicas : t -> Cdbs_core.Query_class.t -> int
 (** Up, caught-up nodes whose live set contains every fragment of the
     class — the replicas a read can actually land on right now. *)
 
-val eligible_for_read : t -> Cdbs_core.Query_class.t -> int list
+val eligible_for_read :
+  ?healthy:(int -> bool) -> t -> Cdbs_core.Query_class.t -> int list
+(** Read candidates for a class.  [healthy] is an optional routing filter
+    (e.g. a circuit breaker's [allows]): candidates failing it are
+    steered around — but if {e every} candidate fails it the unfiltered
+    list is returned (fail open), since a slow replica still beats an
+    unavailable answer.  Updates are never filtered. *)
+
 val targets_for_update : t -> Cdbs_core.Query_class.t -> int list
 
-val route : t -> now:float -> Request.t -> (int list, string) result
+val route :
+  ?healthy:(int -> bool) -> t -> now:float -> Request.t -> (int list, string) result
 (** Backends that must process the request (singleton for reads).  Pending
-    work bookkeeping is updated by {!book}. *)
+    work bookkeeping is updated by {!book}.  [healthy] filters read
+    candidates as in {!eligible_for_read}. *)
 
 val book : t -> backend:int -> finish:float -> unit
 (** Record that the backend's queue now drains at [finish]. *)

@@ -22,10 +22,20 @@ type outcome = {
   throughput : float;
   avg_response : float;
   max_response : float;
+  p50_response : float;
+  p95_response : float;
+  p99_response : float;
   busy : float array;
   utilization : float array;
   errors : int;
 }
+
+(* (p50, p95, p99) of a response-time list; zeros when empty. *)
+let percentiles_of = function
+  | [] -> (0., 0., 0.)
+  | rs ->
+      let p q = Cdbs_util.Stats.percentile q rs in
+      (p 50., p 95., p 99.)
 
 let find_class alloc id =
   let classes = Allocation.classes alloc in
@@ -71,6 +81,7 @@ let run ~respect_arrivals config alloc requests =
   let busy = Array.make n 0. in
   let completed = ref 0 and errors = ref 0 in
   let response_sum = ref 0. and response_max = ref 0. in
+  let response_list = ref [] in
   let resident =
     Array.init n (fun b ->
         Cdbs_core.Fragment.set_size (Allocation.fragments_of alloc b))
@@ -119,8 +130,10 @@ let run ~respect_arrivals config alloc requests =
           incr completed;
           let response = !finish_all -. now in
           response_sum := !response_sum +. response;
+          response_list := response :: !response_list;
           if response > !response_max then response_max := response)
     requests;
+  let p50, p95, p99 = percentiles_of !response_list in
   let makespan =
     let m = ref 0. in
     for b = 0 to n - 1 do
@@ -136,6 +149,9 @@ let run ~respect_arrivals config alloc requests =
     avg_response =
       (if !completed > 0 then !response_sum /. float_of_int !completed else 0.);
     max_response = !response_max;
+    p50_response = p50;
+    p95_response = p95;
+    p99_response = p99;
     busy;
     utilization =
       Array.map (fun b -> if makespan > 0. then b /. makespan else 0.) busy;
@@ -345,6 +361,7 @@ let run_open_with_migration ?(copy_slowdown = 0.25) config ~target ~schedule
     done;
     !ok
   in
+  let p50, p95, p99 = percentiles_of (List.map snd !responses) in
   {
     run =
       {
@@ -356,6 +373,9 @@ let run_open_with_migration ?(copy_slowdown = 0.25) config ~target ~schedule
           (if !completed > 0 then !response_sum /. float_of_int !completed
            else 0.);
         max_response = !response_max;
+        p50_response = p50;
+        p95_response = p95;
+        p99_response = p99;
         busy;
         utilization =
           Array.map (fun b -> if makespan > 0. then b /. makespan else 0.) busy;
@@ -398,6 +418,14 @@ type fault_outcome = {
   retries : int;
   aborted : int;
   timeouts : int;
+  shed : int;
+  shed_updates : int;
+  hedged : int;
+  hedge_wins : int;
+  breaker_trips : int;
+  wasted_work : float;
+  offered_updates : int;
+  completed_updates : int;
   cancelled_work : float;
   catch_up_mb : float;
   recoveries : recovery list;
@@ -414,6 +442,8 @@ type read_ctx = {
   rc_cost_mb : float option;
   rc_arrival : float;  (* original arrival: responses measure from here *)
   rc_attempt : int;  (* 0 = first attempt *)
+  rc_deadline : float;  (* absolute client give-up instant; [infinity]
+                           when no deadline policy is active *)
 }
 
 (* Work booked on a backend's queue, kept so a crash can cancel it. *)
@@ -430,11 +460,17 @@ type booked = {
 type dyn_event =
   | Retry_at of float * read_ctx
   | Catchup_done of { at : float; backend : int; gen : int }
+  | Hedge_at of { at : float; primary : int; ctx : read_ctx }
 
-let dyn_time = function Retry_at (at, _) -> at | Catchup_done { at; _ } -> at
+let dyn_time = function
+  | Retry_at (at, _) -> at
+  | Catchup_done { at; _ } -> at
+  | Hedge_at { at; _ } -> at
 
-let run_open_with_faults ?(policy = Retry.default) config alloc requests
-    ~faults =
+module Resilience = Cdbs_resilience
+
+let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience config
+    alloc requests ~faults =
   let n = Allocation.num_backends alloc in
   if Array.length config.speeds <> n then
     invalid_arg "Simulator.run_open_with_faults: speeds length <> backends";
@@ -469,6 +505,38 @@ let run_open_with_faults ?(policy = Retry.default) config alloc requests
   let retried : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   let pending_catchup : (int, recovery) Hashtbl.t = Hashtbl.create 4 in
   let retries = ref 0 and aborted = ref 0 and timeouts = ref 0 in
+  (* Resilience defenses: each independently optional; all [None] (the
+     default) reproduces the legacy engine exactly. *)
+  let res =
+    match resilience with Some r -> r | None -> Resilience.Policy.off
+  in
+  let admission = res.Resilience.Policy.admission in
+  let breaker =
+    Option.map
+      (fun config -> Resilience.Breaker.create ~config n)
+      res.Resilience.Policy.breaker
+  in
+  let hedge = Option.map Resilience.Hedge.create res.Resilience.Policy.hedge in
+  let deadline_on = res.Resilience.Policy.deadline <> None in
+  let deadline_of ~arrival =
+    match res.Resilience.Policy.deadline with
+    | Some d -> arrival +. d.Resilience.Deadline.budget
+    | None -> infinity
+  in
+  let healthy_at now =
+    match breaker with
+    | None -> None
+    | Some br ->
+        Some (fun b -> Resilience.Breaker.allows br ~backend:b ~now)
+  in
+  let breaker_success ~now b ~latency =
+    match breaker with
+    | None -> ()
+    | Some br -> Resilience.Breaker.record_success br ~backend:b ~now ~latency
+  in
+  let shed = ref 0 and hedged = ref 0 and hedge_wins = ref 0 in
+  let wasted_work = ref 0. in
+  let offered_updates = ref 0 and completed_updates = ref 0 in
   let cancelled_work = ref 0. and catch_up_mb = ref 0. in
   let recoveries = ref [] in
   let cur_down = ref 0 and max_down = ref 0 in
@@ -485,7 +553,10 @@ let run_open_with_faults ?(policy = Retry.default) config alloc requests
     in
     dyn := go !dyn
   in
-  let serve ~now ~mb ~replicas ~is_update ~kind b ~factor =
+  (* Service quote: what booking this work on [b] right now would cost,
+     without booking it.  Admission and deadline checks run on the quote;
+     [commit] turns an accepted quote into a booking. *)
+  let quote ~now ~mb ~replicas ~is_update b ~factor =
     let slow = if now < slow_until.(b) then slow_factor.(b) else 1. in
     let service =
       factor *. slow
@@ -494,7 +565,9 @@ let run_open_with_faults ?(policy = Retry.default) config alloc requests
            ~replicas
     in
     let start = max now (Scheduler.free_at sched ~backend:b) in
-    let finish = start +. service in
+    (start, start +. service, service)
+  in
+  let commit ~mb ~kind b (start, finish, service) =
     Scheduler.book sched ~backend:b ~finish;
     busy.(b) <- busy.(b) +. service;
     inflight.(b) <-
@@ -503,14 +576,73 @@ let run_open_with_faults ?(policy = Retry.default) config alloc requests
       :: inflight.(b);
     finish
   in
+  let serve ~now ~mb ~replicas ~is_update ~kind b ~factor =
+    commit ~mb ~kind b (quote ~now ~mb ~replicas ~is_update b ~factor)
+  in
+  (* Queue depth for admission control.  Completed bookings are pruned on
+     the way (they are kept only so a crash can cancel in-flight work). *)
+  let depth_of b ~now =
+    let live = List.filter (fun it -> it.bk_finish > now) inflight.(b) in
+    inflight.(b) <- live;
+    List.length live
+  in
+  (* Remove a booking and refund its not-yet-served tail after [from_].
+     The backend's queue drains earlier by that amount — an approximation
+     (bookings made between the victim and now keep their recorded finish
+     times), matching the spirit of crash cancellation. *)
+  let cancel_booking b it ~from_ =
+    inflight.(b) <- List.filter (fun x -> x != it) inflight.(b);
+    let refund = max 0. (it.bk_finish -. max it.bk_start from_) in
+    busy.(b) <- busy.(b) -. refund;
+    Scheduler.book sched ~backend:b
+      ~finish:(Scheduler.free_at sched ~backend:b -. refund);
+    refund
+  in
+  (* Shed-oldest-first: evict the queued (not yet started) read that has
+     waited longest; it is the one most likely already past its deadline.
+     Returns [true] when a victim was found and evicted. *)
+  let shed_oldest_queued b ~now =
+    let victim =
+      List.fold_left
+        (fun acc it ->
+          match it.bk_kind with
+          | Bk_read rc when it.bk_start > now -> (
+              match acc with
+              | Some (best_rc, _) when best_rc.rc_arrival <= rc.rc_arrival ->
+                  acc
+              | _ -> Some (rc, it))
+          | _ -> acc)
+        None inflight.(b)
+    in
+    match victim with
+    | None -> false
+    | Some (rc, it) ->
+        ignore (cancel_booking b it ~from_:now);
+        Hashtbl.remove results rc.rc_uid;
+        incr shed;
+        incr aborted;
+        true
+  in
+  let find_read_booking b u =
+    List.find_opt
+      (fun it ->
+        match it.bk_kind with Bk_read rc -> rc.rc_uid = u | _ -> false)
+      inflight.(b)
+  in
   (* An attempt of read [rc] failed at [now]: try again after backoff,
-     unless the policy's retry budget or the request's deadline is spent. *)
+     unless the retry budget is spent.  With a deadline policy active the
+     end-to-end budget governs instead of the fixed attempt count: the
+     chain retries as long as the backoff lands inside the budget. *)
   let schedule_retry ~now rc =
     let attempt = rc.rc_attempt + 1 in
-    if Retry.gives_up policy ~attempt then incr aborted
+    if (not deadline_on) && Retry.gives_up policy ~attempt then incr aborted
     else
-      let at = now +. Retry.backoff policy ~attempt in
-      if Retry.timed_out policy ~arrival:rc.rc_arrival ~now:at then begin
+      let at = now +. Retry.backoff ?rng policy ~attempt in
+      let budget_spent =
+        if deadline_on then at >= rc.rc_deadline
+        else Retry.timed_out policy ~arrival:rc.rc_arrival ~now:at
+      in
+      if budget_spent then begin
         incr aborted;
         incr timeouts
       end
@@ -520,21 +652,81 @@ let run_open_with_faults ?(policy = Retry.default) config alloc requests
         insert_dyn (Retry_at (at, { rc with rc_attempt = attempt }))
       end
   in
+  (* Arm a speculative second dispatch if this read is predicted to exceed
+     the adaptive hedge delay. *)
+  let maybe_hedge ~now rc b finish =
+    match hedge with
+    | None -> ()
+    | Some h ->
+        let d = Resilience.Hedge.delay h in
+        Resilience.Hedge.observe h (finish -. now);
+        if finish -. now > d then
+          insert_dyn (Hedge_at { at = now +. d; primary = b; ctx = rc })
+  in
   let handle_read ~now rc =
-    let r = Request.read ~arrival:now ?cost_mb:rc.rc_cost_mb rc.rc_class in
-    match Scheduler.route sched ~now r with
-    | Error _ -> schedule_retry ~now rc
-    | Ok [] -> schedule_retry ~now rc
-    | Ok (b :: _) ->
-        let mb = class_mb alloc r in
-        let finish =
-          serve ~now ~mb ~replicas:1 ~is_update:false ~kind:(Bk_read rc) b
-            ~factor:1.
-        in
-        Hashtbl.replace results rc.rc_uid
-          (rc.rc_arrival, finish -. rc.rc_arrival)
+    if deadline_on && now >= rc.rc_deadline then begin
+      (* The client abandoned the request before this attempt started. *)
+      incr timeouts;
+      incr aborted
+    end
+    else
+      let r = Request.read ~arrival:now ?cost_mb:rc.rc_cost_mb rc.rc_class in
+      match Scheduler.route ?healthy:(healthy_at now) sched ~now r with
+      | Error _ | Ok [] -> schedule_retry ~now rc
+      | Ok (b :: _) -> (
+          let mb = class_mb alloc r in
+          let book () =
+            let ((_, finish, service) as q) =
+              quote ~now ~mb ~replicas:1 ~is_update:false b ~factor:1.
+            in
+            ignore (commit ~mb ~kind:(Bk_read rc) b q);
+            breaker_success ~now b ~latency:(finish -. now);
+            if deadline_on && finish > rc.rc_deadline then begin
+              (* Without admission control this work is booked anyway and
+                 wasted: the client is gone when it completes. *)
+              incr timeouts;
+              incr aborted;
+              wasted_work := !wasted_work +. service
+            end
+            else begin
+              Hashtbl.replace results rc.rc_uid
+                (rc.rc_arrival, finish -. rc.rc_arrival);
+              maybe_hedge ~now rc b finish
+            end
+          in
+          match admission with
+          | None -> book ()
+          | Some pol ->
+              let _, finish, _ =
+                quote ~now ~mb ~replicas:1 ~is_update:false b ~factor:1.
+              in
+              if deadline_on && finish > rc.rc_deadline then begin
+                (* Deadline-aware admission: refuse up front instead of
+                   serving work whose client will have abandoned it. *)
+                incr timeouts;
+                incr aborted
+              end
+              else
+                let depth = depth_of b ~now in
+                let pending = Scheduler.pending sched ~backend:b ~now in
+                (match
+                   Resilience.Admission.decide pol ~depth ~pending
+                     ~is_update:false
+                 with
+                | Resilience.Admission.Admit -> book ()
+                | Resilience.Admission.Shed ->
+                    if shed_oldest_queued b ~now then book ()
+                    else begin
+                      (* Queue holds no evictable read: shed the newcomer. *)
+                      incr shed;
+                      incr aborted
+                    end))
   in
   let handle_update ~now (r : Request.t) u =
+    incr offered_updates;
+    (* Updates bypass every defense: admission never sheds them, deadlines
+       never abandon them, breakers never steer them — ROWA requires each
+       live replica of a written partition to apply every update. *)
     match Scheduler.route sched ~now r with
     | Error _ ->
         (* No live replica holds the data: ROWA cannot commit anywhere.
@@ -571,6 +763,7 @@ let run_open_with_faults ?(policy = Retry.default) config alloc requests
               (serve ~now ~mb ~replicas ~is_update:true ~kind:Bk_update b
                  ~factor))
           split.Protocol.async;
+        incr completed_updates;
         Hashtbl.replace results u (r.Request.arrival, !finish_all -. now)
   in
   let crash ~now b =
@@ -680,6 +873,92 @@ let run_open_with_faults ?(policy = Retry.default) config alloc requests
               Hashtbl.remove pending_catchup b
           | None -> ()
         end
+    | Hedge_at { at = now; primary; ctx = rc } -> (
+        (* Speculatively dispatch the read to the next-best replica and
+           keep whichever leg completes first; the loser's unserved tail
+           is cancelled on the event clock. *)
+        match Hashtbl.find_opt results rc.rc_uid with
+        | Some (arr, resp) when arr +. resp > now -> (
+            let f1 = arr +. resp in
+            match find_read_booking primary rc.rc_uid with
+            | None -> () (* crash-cancelled or shed since it was armed *)
+            | Some it1 -> (
+                match find_class alloc rc.rc_class with
+                | None -> ()
+                | Some c -> (
+                    let candidates =
+                      Scheduler.eligible_for_read ?healthy:(healthy_at now)
+                        sched c
+                      |> List.filter (fun b -> b <> primary)
+                    in
+                    let best =
+                      List.fold_left
+                        (fun acc b ->
+                          match acc with
+                          | None -> Some b
+                          | Some cur ->
+                              if
+                                Scheduler.pending sched ~backend:b ~now
+                                < Scheduler.pending sched ~backend:cur ~now
+                              then Some b
+                              else acc)
+                        None candidates
+                    in
+                    match best with
+                    | None -> () (* no second replica to hedge on *)
+                    | Some b2 ->
+                        let mb =
+                          match rc.rc_cost_mb with
+                          | Some mb -> mb
+                          | None -> Query_class.size c
+                        in
+                        let ((s2, f2, sv2) as q2) =
+                          quote ~now ~mb ~replicas:1 ~is_update:false b2
+                            ~factor:1.
+                        in
+                        let pointless =
+                          (* a hedge that cannot beat the deadline is
+                             wasted capacity by construction *)
+                          (deadline_on && f2 > rc.rc_deadline)
+                          ||
+                          match admission with
+                          | None -> false
+                          | Some pol ->
+                              (* A hedge never sheds foreground work. *)
+                              Resilience.Admission.decide pol
+                                ~depth:(depth_of b2 ~now)
+                                ~pending:
+                                  (Scheduler.pending sched ~backend:b2 ~now)
+                                ~is_update:false
+                              = Resilience.Admission.Shed
+                        in
+                        if not pointless then begin
+                          incr hedged;
+                          if f2 < f1 then begin
+                            incr hedge_wins;
+                            ignore (commit ~mb ~kind:(Bk_read rc) b2 q2);
+                            (* Cancel the losing primary leg: its already-
+                               served prefix is sunk cost. *)
+                            let refund = cancel_booking primary it1 ~from_:f2 in
+                            wasted_work :=
+                              !wasted_work +. (it1.bk_service -. refund);
+                            Hashtbl.replace results rc.rc_uid
+                              (rc.rc_arrival, f2 -. rc.rc_arrival);
+                            breaker_success ~now b2 ~latency:(f2 -. now)
+                          end
+                          else begin
+                            (* The primary wins: the hedge leg occupies b2
+                               until the win instant, then cancels. *)
+                            let consumed = max 0. (min sv2 (f1 -. s2)) in
+                            if consumed > 0. then begin
+                              Scheduler.book sched ~backend:b2
+                                ~finish:(s2 +. consumed);
+                              busy.(b2) <- busy.(b2) +. consumed;
+                              wasted_work := !wasted_work +. consumed
+                            end
+                          end
+                        end)))
+        | _ -> () (* completed before the hedge fired, or mid-retry *))
   in
   (* The event clock: merge fault events, retries/catch-ups and arrivals in
      time order (faults before internal events before arrivals at equal
@@ -730,6 +1009,7 @@ let run_open_with_faults ?(policy = Retry.default) config alloc requests
                   rc_cost_mb = r.Request.cost_mb;
                   rc_arrival = r.Request.arrival;
                   rc_attempt = 0;
+                  rc_deadline = deadline_of ~arrival:r.Request.arrival;
                 }
         | [] -> assert false
       end;
@@ -759,6 +1039,7 @@ let run_open_with_faults ?(policy = Retry.default) config alloc requests
   let response_max =
     List.fold_left (fun acc (_, r, _) -> max acc r) 0. all
   in
+  let p50, p95, p99 = percentiles_of (List.map (fun (_, r, _) -> r) all) in
   {
     run =
       {
@@ -770,6 +1051,9 @@ let run_open_with_faults ?(policy = Retry.default) config alloc requests
           (if completed > 0 then response_sum /. float_of_int completed
            else 0.);
         max_response = response_max;
+        p50_response = p50;
+        p95_response = p95;
+        p99_response = p99;
         busy;
         utilization =
           Array.map (fun b -> if makespan > 0. then b /. makespan else 0.) busy;
@@ -783,6 +1067,18 @@ let run_open_with_faults ?(policy = Retry.default) config alloc requests
     retries = !retries;
     aborted = !aborted;
     timeouts = !timeouts;
+    shed = !shed;
+    shed_updates = 0;
+    (* updates are never shed; the field witnesses the invariant *)
+    hedged = !hedged;
+    hedge_wins = !hedge_wins;
+    breaker_trips =
+      (match breaker with
+      | Some br -> Resilience.Breaker.trips br
+      | None -> 0);
+    wasted_work = !wasted_work;
+    offered_updates = !offered_updates;
+    completed_updates = !completed_updates;
     cancelled_work = !cancelled_work;
     catch_up_mb = !catch_up_mb;
     recoveries = List.rev !recoveries;

@@ -30,6 +30,9 @@ type outcome = {
   throughput : float;  (** completed / makespan *)
   avg_response : float;  (** mean request response time (completion - arrival) *)
   max_response : float;
+  p50_response : float;  (** median response time (0 when none completed) *)
+  p95_response : float;
+  p99_response : float;  (** tail latency — what overload defenses target *)
   busy : float array;  (** per-backend busy seconds *)
   utilization : float array;  (** busy / makespan *)
   errors : int;  (** requests that could not be routed *)
@@ -73,6 +76,20 @@ type fault_outcome = {
       (** requests abandoned: retry budget exhausted, deadline passed, or
           (for updates) no live replica to commit on *)
   timeouts : int;  (** aborts caused by the per-request deadline *)
+  shed : int;
+      (** reads refused by admission control (a typed [Shed] outcome —
+          included in [aborted], never updates) *)
+  shed_updates : int;
+      (** always 0: the engine never sheds updates; the field witnesses
+          the ROWA-preservation invariant in reports *)
+  hedged : int;  (** speculative second dispatches issued *)
+  hedge_wins : int;  (** hedges that beat the primary leg *)
+  breaker_trips : int;  (** circuit-breaker transitions into [Open] *)
+  wasted_work : float;
+      (** service seconds spent on doomed or losing work: reads served
+          past their client's deadline and cancelled hedge legs *)
+  offered_updates : int;  (** updates submitted *)
+  completed_updates : int;  (** updates committed (ROWA on live replicas) *)
   cancelled_work : float;
       (** in-flight service seconds destroyed by crashes *)
   catch_up_mb : float;  (** total volume replayed across all rejoins *)
@@ -86,15 +103,17 @@ type fault_outcome = {
 
 val run_open_with_faults :
   ?policy:Cdbs_faults.Retry.policy ->
+  ?rng:Cdbs_util.Rng.t ->
+  ?resilience:Cdbs_resilience.Policy.t ->
   config ->
   Cdbs_core.Allocation.t ->
   Request.t list ->
   faults:Cdbs_faults.Fault.schedule ->
   fault_outcome
 (** Open-mode replay under a fault timeline, on a true event clock: fault
-    events interleave with arrivals, retries and catch-up completions, and
-    keep being applied after the last arrival (a late crash still cancels
-    queued work).
+    events interleave with arrivals, retries, hedges and catch-up
+    completions, and keep being applied after the last arrival (a late
+    crash still cancels queued work).
 
     [Crash b] takes the backend out of service immediately: its in-flight
     and queued work is cancelled; cancelled reads are retried on surviving
@@ -106,6 +125,29 @@ val run_open_with_faults :
     it takes updates but serves no reads until the missed volume has been
     replayed through the journal cost model.  [Slowdown] inflates the
     backend's service times by [factor] for [duration].
+
+    [rng] (seeded, deterministic) enables the retry policy's backoff
+    jitter; without it backoffs are exact.
+
+    [resilience] wires the overload/gray-failure defenses into the run
+    (all off by default, reproducing the legacy engine exactly):
+    - {e admission control} bounds each backend's queue; past the
+      depth/latency watermark a read is shed — oldest queued read first,
+      else the newcomer ([shed] in the report; updates are never shed);
+    - {e circuit breakers} track per-backend latency EWMA and error rate
+      and steer read routing around slow-but-alive backends (fail-open
+      when every replica is open; updates are never steered);
+    - {e hedged reads} arm a speculative second dispatch when a read's
+      expected completion exceeds the adaptive hedge delay; the first leg
+      to finish wins and the loser's unserved tail is cancelled;
+    - {e deadline budgets} give each read an end-to-end budget from its
+      original arrival.  Retries stop when the budget is exhausted
+      (replacing the fixed attempt count), hedges that cannot meet it are
+      not dispatched, and — with admission control on — reads quoted past
+      it are refused up front instead of being served to an absent
+      client.  Without admission control the doomed work is still booked
+      and surfaces as [wasted_work] (congestion collapse).  Updates are
+      exempt from every defense.
 
     The schedule is validated first ({!Cdbs_faults.Fault.validate});
     @raise Invalid_argument on an ill-formed schedule. *)

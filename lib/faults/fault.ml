@@ -25,6 +25,7 @@ let of_failures failures =
 
 let validate ~num_backends schedule =
   let up = Array.make (max 1 num_backends) true in
+  let slow_until = Array.make (max 1 num_backends) neg_infinity in
   let rec go = function
     | [] -> Ok ()
     | { at; event } :: rest -> (
@@ -50,7 +51,13 @@ let validate ~num_backends schedule =
               else if duration <= 0. then
                 Error (Printf.sprintf "slowdown at %g: duration %g <= 0" at
                          duration)
-              else go rest)
+              else if at < slow_until.(b) then
+                Error
+                  (Printf.sprintf
+                     "slowdown at %g: backend %d already slowed until %g \
+                      (overlapping windows)"
+                     at b slow_until.(b))
+              else begin slow_until.(b) <- at +. duration; go rest end)
   in
   go (sort schedule)
 

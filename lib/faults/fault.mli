@@ -48,8 +48,12 @@ val of_failures : (float * int) list -> schedule
 
 val validate : num_backends:int -> schedule -> (unit, string) result
 (** Structural checks: backend indices in range, slowdown parameters sane,
-    and per-backend crash/recover alternation (no crash of a crashed
-    backend, no recover of a running one). *)
+    per-backend crash/recover alternation (no crash of a crashed backend,
+    no recover of a running one), and no overlapping [Slowdown] windows on
+    the same backend (the simulator's slow-state is a single
+    factor/until pair per backend, so a second window starting inside an
+    active one would silently overwrite it; a window may start exactly
+    when the previous one ends). *)
 
 val pp_event : event Fmt.t
 val pp_timed : timed Fmt.t

@@ -15,10 +15,16 @@ type policy = {
           arrival; [infinity] disables it *)
   backoff_base : float;  (** delay before the first retry, seconds *)
   backoff_multiplier : float;  (** growth factor per further attempt *)
+  jitter : float;
+      (** relative jitter in [0, 1) applied when a seeded [Rng] is passed
+          to {!backoff}: the delay is scaled by a uniform factor in
+          [1 - jitter, 1 + jitter) so synchronized retries after a crash
+          don't re-spike the survivor's queue *)
 }
 
 val default : policy
-(** 3 retries, 30 s timeout, 50 ms base backoff doubling per attempt. *)
+(** 3 retries, 30 s timeout, 50 ms base backoff doubling per attempt,
+    20 % jitter (effective only when an [Rng] is supplied). *)
 
 val no_retry : policy
 (** Give up immediately: crash-orphaned work counts as an error. *)
@@ -28,14 +34,19 @@ val make :
   ?timeout:float ->
   ?backoff_base:float ->
   ?backoff_multiplier:float ->
+  ?jitter:float ->
   unit ->
   policy
 (** {!default} with overrides.  @raise Invalid_argument on a negative
-    retry count, non-positive timeout/base or multiplier < 1. *)
+    retry count, non-positive timeout/base, multiplier < 1 or jitter
+    outside [0, 1). *)
 
-val backoff : policy -> attempt:int -> float
+val backoff : ?rng:Cdbs_util.Rng.t -> policy -> attempt:int -> float
 (** Delay inserted before retry [attempt] (1-based):
-    [backoff_base *. backoff_multiplier ^ (attempt - 1)]. *)
+    [backoff_base *. backoff_multiplier ^ (attempt - 1)].  When [rng] is
+    given and [jitter > 0], the delay is scaled by a deterministic uniform
+    factor in [1 - jitter, 1 + jitter); without [rng] the delay is exact,
+    preserving legacy behaviour. *)
 
 val gives_up : policy -> attempt:int -> bool
 (** Whether retry [attempt] exceeds the policy's budget. *)

@@ -1,0 +1,197 @@
+type state = Closed | Open | Half_open
+
+type config = {
+  ewma_alpha : float;
+  latency_factor : float;
+  min_samples : int;
+  error_window : int;
+  error_threshold : float;
+  cool_down : float;
+  probes : int;
+}
+
+let default_config =
+  {
+    ewma_alpha = 0.2;
+    latency_factor = 2.;
+    min_samples = 20;
+    error_window = 20;
+    error_threshold = 0.5;
+    cool_down = 10.;
+    probes = 3;
+  }
+
+let make_config ?(ewma_alpha = default_config.ewma_alpha)
+    ?(latency_factor = default_config.latency_factor)
+    ?(min_samples = default_config.min_samples)
+    ?(error_window = default_config.error_window)
+    ?(error_threshold = default_config.error_threshold)
+    ?(cool_down = default_config.cool_down) ?(probes = default_config.probes)
+    () =
+  if ewma_alpha <= 0. || ewma_alpha > 1. then
+    invalid_arg "Breaker.make_config: ewma_alpha must be in (0, 1]";
+  if latency_factor < 1. then
+    invalid_arg "Breaker.make_config: latency_factor < 1";
+  if min_samples < 1 then invalid_arg "Breaker.make_config: min_samples < 1";
+  if error_window < 1 then invalid_arg "Breaker.make_config: error_window < 1";
+  if error_threshold <= 0. || error_threshold > 1. then
+    invalid_arg "Breaker.make_config: error_threshold must be in (0, 1]";
+  if cool_down <= 0. then invalid_arg "Breaker.make_config: cool_down <= 0";
+  if probes < 1 then invalid_arg "Breaker.make_config: probes < 1";
+  {
+    ewma_alpha;
+    latency_factor;
+    min_samples;
+    error_window;
+    error_threshold;
+    cool_down;
+    probes;
+  }
+
+type backend = {
+  mutable st : state;
+  mutable ewma : float;
+  mutable samples : int;
+  window : bool array; (* true = failure *)
+  mutable w_len : int;
+  mutable w_pos : int;
+  mutable w_failures : int;
+  mutable opened_at : float;
+  mutable probe_successes : int;
+}
+
+type t = { config : config; backends : backend array; mutable trips : int }
+
+let fresh cfg =
+  {
+    st = Closed;
+    ewma = 0.;
+    samples = 0;
+    window = Array.make cfg.error_window false;
+    w_len = 0;
+    w_pos = 0;
+    w_failures = 0;
+    opened_at = neg_infinity;
+    probe_successes = 0;
+  }
+
+let create ?(config = default_config) n =
+  if n < 1 then invalid_arg "Breaker.create: need at least one backend";
+  { config; backends = Array.init n (fun _ -> fresh config); trips = 0 }
+
+let config t = t.config
+let num_backends t = Array.length t.backends
+let get t b = t.backends.(b)
+
+let reset_stats be =
+  be.ewma <- 0.;
+  be.samples <- 0;
+  be.w_len <- 0;
+  be.w_pos <- 0;
+  be.w_failures <- 0;
+  Array.fill be.window 0 (Array.length be.window) false
+
+let trip t be ~now =
+  if be.st <> Open then t.trips <- t.trips + 1;
+  be.st <- Open;
+  be.opened_at <- now;
+  be.probe_successes <- 0
+
+let state t ~backend = (get t backend).st
+
+let allows t ~backend ~now =
+  let be = get t backend in
+  match be.st with
+  | Closed | Half_open -> true
+  | Open ->
+      if now -. be.opened_at >= t.config.cool_down then begin
+        be.st <- Half_open;
+        be.probe_successes <- 0;
+        true
+      end
+      else false
+
+(* Median EWMA over peers that have at least one sample. *)
+let peer_median t b =
+  let xs =
+    Array.to_list t.backends
+    |> List.filteri (fun i _ -> i <> b)
+    |> List.filter_map (fun be ->
+           if be.samples > 0 then Some be.ewma else None)
+  in
+  match List.sort compare xs with
+  | [] -> None
+  | sorted ->
+      let n = List.length sorted in
+      let a = List.nth sorted ((n - 1) / 2) and b = List.nth sorted (n / 2) in
+      Some ((a +. b) /. 2.)
+
+let push_window cfg be ~failure =
+  if be.w_len = cfg.error_window then begin
+    if be.window.(be.w_pos) then be.w_failures <- be.w_failures - 1
+  end
+  else be.w_len <- be.w_len + 1;
+  be.window.(be.w_pos) <- failure;
+  if failure then be.w_failures <- be.w_failures + 1;
+  be.w_pos <- (be.w_pos + 1) mod cfg.error_window
+
+let error_tripped cfg be =
+  be.w_len >= cfg.error_window
+  && float_of_int be.w_failures /. float_of_int be.w_len >= cfg.error_threshold
+
+let latency_tripped t b be =
+  be.samples >= t.config.min_samples
+  &&
+  match peer_median t b with
+  | Some m -> m > 0. && be.ewma > t.config.latency_factor *. m
+  | None -> false
+
+let record_success t ~backend ~now ~latency =
+  let cfg = t.config in
+  let be = get t backend in
+  be.ewma <-
+    (if be.samples = 0 then latency
+     else (cfg.ewma_alpha *. latency) +. ((1. -. cfg.ewma_alpha) *. be.ewma));
+  be.samples <- be.samples + 1;
+  push_window cfg be ~failure:false;
+  match be.st with
+  | Open -> () (* stray completion of work booked before the trip *)
+  | Half_open ->
+      (* A probe is judged by its own latency, not the (stale) EWMA. *)
+      let probe_slow =
+        match peer_median t backend with
+        | Some m -> m > 0. && latency > cfg.latency_factor *. m
+        | None -> false
+      in
+      if probe_slow then trip t be ~now
+      else begin
+        be.probe_successes <- be.probe_successes + 1;
+        if be.probe_successes >= cfg.probes then begin
+          be.st <- Closed;
+          reset_stats be
+        end
+      end
+  | Closed -> if latency_tripped t backend be then trip t be ~now
+
+let record_failure t ~backend ~now =
+  let cfg = t.config in
+  let be = get t backend in
+  push_window cfg be ~failure:true;
+  match be.st with
+  | Open -> ()
+  | Half_open -> trip t be ~now
+  | Closed -> if error_tripped cfg be then trip t be ~now
+
+let force_open t ~backend ~now = trip t (get t backend) ~now
+
+let force_close t ~backend =
+  let be = get t backend in
+  be.st <- Closed;
+  be.probe_successes <- 0;
+  reset_stats be
+
+let ewma t ~backend =
+  let be = get t backend in
+  if be.samples = 0 then None else Some be.ewma
+
+let trips t = t.trips

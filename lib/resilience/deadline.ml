@@ -1,0 +1,17 @@
+type policy = { budget : float }
+
+let default = { budget = 5. }
+
+let make ~budget =
+  if budget <= 0. then invalid_arg "Deadline.make: budget <= 0";
+  { budget }
+
+type t = { arrival : float; deadline : float }
+
+let start p ~arrival = { arrival; deadline = arrival +. p.budget }
+let unlimited ~arrival = { arrival; deadline = infinity }
+let arrival t = t.arrival
+let deadline t = t.deadline
+let remaining t ~now = t.deadline -. now
+let exhausted t ~now = now >= t.deadline
+let allows t ~now ~cost = now +. cost <= t.deadline

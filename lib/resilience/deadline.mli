@@ -1,0 +1,37 @@
+(** End-to-end deadline budgets.
+
+    A request enters the system with a fixed time budget measured from its
+    arrival.  Everything that happens on its behalf — queueing, service,
+    retry backoffs, hedged attempts — spends the same budget, so failover
+    stops when the budget is exhausted rather than after a fixed attempt
+    count.  Clients are assumed to abandon the request at its deadline:
+    work completing later is wasted capacity, and the defended dispatch
+    path refuses it up front. *)
+
+type policy = { budget : float  (** seconds of end-to-end budget *) }
+
+val default : policy
+(** 5 s — generous next to the simulator's sub-second service times. *)
+
+val make : budget:float -> policy
+(** @raise Invalid_argument when [budget <= 0]. *)
+
+type t
+(** A started deadline: an absolute give-up instant. *)
+
+val start : policy -> arrival:float -> t
+val unlimited : arrival:float -> t
+(** A deadline that never expires (the undefended/legacy behaviour). *)
+
+val arrival : t -> float
+val deadline : t -> float
+(** The absolute instant the client abandons the request. *)
+
+val remaining : t -> now:float -> float
+(** Budget left at [now]; negative once exhausted. *)
+
+val exhausted : t -> now:float -> bool
+
+val allows : t -> now:float -> cost:float -> bool
+(** Whether work costing [cost] seconds started at [now] would still finish
+    within the budget. *)

@@ -1,0 +1,45 @@
+type policy = {
+  percentile : float;
+  min_delay : float;
+  min_observations : int;
+  window : int;
+}
+
+let default =
+  { percentile = 95.; min_delay = 0.05; min_observations = 20; window = 256 }
+
+let make ?(percentile = default.percentile) ?(min_delay = default.min_delay)
+    ?(min_observations = default.min_observations) ?(window = default.window)
+    () =
+  if percentile <= 0. || percentile > 100. then
+    invalid_arg "Hedge.make: percentile must be in (0, 100]";
+  if min_delay <= 0. then invalid_arg "Hedge.make: min_delay <= 0";
+  if min_observations < 1 then invalid_arg "Hedge.make: min_observations < 1";
+  if window < min_observations then
+    invalid_arg "Hedge.make: window < min_observations";
+  { percentile; min_delay; min_observations; window }
+
+type t = {
+  policy : policy;
+  buf : float array;
+  mutable len : int;
+  mutable pos : int;
+}
+
+let create policy =
+  { policy; buf = Array.make policy.window 0.; len = 0; pos = 0 }
+
+let policy t = t.policy
+
+let observe t latency =
+  t.buf.(t.pos) <- latency;
+  t.pos <- (t.pos + 1) mod t.policy.window;
+  if t.len < t.policy.window then t.len <- t.len + 1
+
+let observations t = t.len
+
+let delay t =
+  if t.len < t.policy.min_observations then t.policy.min_delay
+  else
+    let xs = Array.to_list (Array.sub t.buf 0 t.len) in
+    max t.policy.min_delay (Cdbs_util.Stats.percentile t.policy.percentile xs)

@@ -1,0 +1,45 @@
+(** Hedged reads ("The Tail at Scale").
+
+    A read whose expected completion time exceeds the hedge delay gets a
+    speculative second dispatch to the next-best replica; the first
+    completion wins and the loser is cancelled on the event clock.  The
+    hedge delay adapts to the observed read-latency distribution: it is
+    the configured percentile of a sliding reservoir of recent read
+    latencies, floored at [min_delay] so a cold tracker never hedges
+    everything. *)
+
+type policy = {
+  percentile : float;  (** latency percentile that sets the hedge delay *)
+  min_delay : float;  (** floor for the hedge delay (seconds) *)
+  min_observations : int;
+      (** reservoir size required before the percentile is trusted *)
+  window : int;  (** reservoir capacity (recent read latencies) *)
+}
+
+val default : policy
+(** p95 delay, 50 ms floor, 20 observations, 256-slot reservoir. *)
+
+val make :
+  ?percentile:float ->
+  ?min_delay:float ->
+  ?min_observations:int ->
+  ?window:int ->
+  unit ->
+  policy
+(** @raise Invalid_argument on out-of-range parameters. *)
+
+type t
+(** A latency tracker (mutable sliding reservoir). *)
+
+val create : policy -> t
+val policy : t -> policy
+
+val observe : t -> float -> unit
+(** Record a completed read latency. *)
+
+val observations : t -> int
+(** Number of latencies currently in the reservoir. *)
+
+val delay : t -> float
+(** Current hedge delay: [max min_delay (percentile of reservoir)] once
+    [min_observations] latencies are present, else [min_delay]. *)

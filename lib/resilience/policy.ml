@@ -1,0 +1,26 @@
+type t = {
+  admission : Admission.policy option;
+  breaker : Breaker.config option;
+  hedge : Hedge.policy option;
+  deadline : Deadline.policy option;
+}
+
+let off = { admission = None; breaker = None; hedge = None; deadline = None }
+
+let default =
+  {
+    admission = Some Admission.default;
+    breaker = Some Breaker.default_config;
+    hedge = Some Hedge.default;
+    deadline = Some Deadline.default;
+  }
+
+let make ?admission ?breaker ?hedge ?deadline () =
+  { admission; breaker; hedge; deadline }
+
+let pp ppf t =
+  let flag name = function Some _ -> name | None -> "-" ^ name in
+  Fmt.pf ppf "resilience{%s %s %s %s}"
+    (flag "admission" t.admission)
+    (flag "breaker" t.breaker) (flag "hedge" t.hedge)
+    (flag "deadline" t.deadline)

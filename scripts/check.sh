@@ -24,4 +24,12 @@ fi
 dune exec bin/cdbs_cli.exe -- chaos --seed 7 -n 4 -k 1 --max-down 1 \
   --duration 300 --rate 10 --json --min-availability 1.0
 
+# Overload smoke: with one backend gray-failing (3x slower), the defended
+# run must beat the undefended one (the built-in acceptance checks), keep
+# p99 under the deadline-scale threshold and shed sparingly (non-zero
+# exit on violation).
+dune exec bin/cdbs_cli.exe -- overload --seed 11 -n 4 --rate 240 \
+  --duration 120 --slow-factor 3 --deadline 1 --json \
+  --max-p99-ms 950 --max-shed-rate 0.15
+
 echo "check: OK"

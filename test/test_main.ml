@@ -21,4 +21,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("experiments", Test_experiments.suite);
       ("paper-examples", Test_paper_examples.suite);
+      ("resilience", Test_resilience.suite);
     ]
