@@ -3,8 +3,10 @@
    micro-benchmarks of the allocation machinery.
 
    Usage: main.exe [section ...] with sections among
-   tables | tpch | tpcapp | balance | elastic | ablation | micro;
-   no argument (or "all") runs everything. *)
+   tables | tpch | tpcapp | balance | elastic | ablation | day | micro;
+   no argument (or "all") runs everything.  The [day] section runs the
+   scaled-down day-in-production macro-benchmark and writes its SLO
+   report to BENCH_day.json in the current directory. *)
 
 module E = Cdbs_experiments
 
@@ -93,6 +95,17 @@ let microbenchmarks () =
       in
       ignore (E.Common.simulate alloc reqs))
 
+(* Scaled-down day-in-production macro-benchmark: seed-deterministic, so
+   BENCH_day.json is reproducible run to run (timing fields aside). *)
+let day () =
+  E.Common.header "Day-in-production SLO macro-benchmark (smoke scale)";
+  let r = E.Fig_day.run ~params:E.Fig_day.smoke () in
+  Fmt.pr "%a@." Cdbs_telemetry.Slo_report.pp r.E.Fig_day.report;
+  Fmt.pr "@.%d events in %.1f s (%.0f events/s)@." r.E.Fig_day.events
+    r.E.Fig_day.wall_s r.E.Fig_day.events_per_s;
+  E.Fig_day.write_json ~path:"BENCH_day.json" r;
+  Fmt.pr "wrote BENCH_day.json@."
+
 let run_section = function
   | "tables" -> E.Tables.print_all ()
   | "tpch" -> E.Fig_tpch.print_all ()
@@ -100,6 +113,7 @@ let run_section = function
   | "balance" -> E.Fig_balance.print_all ()
   | "elastic" -> E.Fig_elastic.print_all ()
   | "ablation" -> E.Ablation.print_all ()
+  | "day" -> day ()
   | "micro" -> microbenchmarks ()
   | s -> Fmt.epr "unknown section %s@." s
 
@@ -110,7 +124,7 @@ let () =
     | _ ->
         [
           "tables"; "tpch"; "tpcapp"; "balance"; "elastic"; "ablation";
-          "micro";
+          "day"; "micro";
         ]
   in
   List.iter run_section sections

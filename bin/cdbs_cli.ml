@@ -283,13 +283,14 @@ let experiment_cmd =
                   ("balance", `Balance); ("elastic", `Elastic);
                   ("ablation", `Ablation); ("migration", `Migration);
                   ("faults", `Faults); ("overload", `Overload);
+                  ("day", `Day);
                 ]))
           None
       & info [] ~docv:"SECTION"
           ~doc:
             "Experiment section: $(b,tables), $(b,tpch), $(b,tpcapp), \
              $(b,balance), $(b,elastic), $(b,ablation), $(b,migration), \
-             $(b,faults) or $(b,overload).")
+             $(b,faults), $(b,overload) or $(b,day).")
   in
   let run = function
     | `Tables -> Cdbs_experiments.Tables.print_all ()
@@ -301,6 +302,7 @@ let experiment_cmd =
     | `Migration -> Cdbs_experiments.Fig_migration.print_all ()
     | `Faults -> Cdbs_experiments.Fig_faults.print_all ()
     | `Overload -> Cdbs_experiments.Fig_overload.print_all ()
+    | `Day -> Cdbs_experiments.Fig_day.print_all ()
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run a paper-reproduction experiment section")
@@ -1087,6 +1089,117 @@ let overload_cmd =
       $ max_p99_arg $ max_shed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* day                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let day_cmd =
+  let module Fd = Cdbs_experiments.Fig_day in
+  let module Slo = Cdbs_telemetry.Slo_report in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Run the scaled-down CI preset (same scenario shape, ~3% of the \
+             events) instead of the full macro-benchmark.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Random seed (deterministic; default from the preset).")
+  in
+  let scale_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "scale" ] ~docv:"X"
+          ~doc:"Multiplier on the diurnal trace's request rate.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "window-minutes" ] ~docv:"MIN"
+          ~doc:"Scheduling/autoscaling window length in minutes.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Also write the BENCH_day.json payload to $(docv).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the BENCH_day.json payload on stdout instead of text.")
+  in
+  let min_avail_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "min-availability" ] ~docv:"FRAC"
+          ~doc:"Exit non-zero if availability falls below $(docv).")
+  in
+  let max_p99_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "max-p99-ms" ] ~docv:"MS"
+          ~doc:"Exit non-zero if the day's p99 latency exceeds $(docv).")
+  in
+  let max_shed_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "max-shed-rate" ] ~docv:"FRAC"
+          ~doc:"Exit non-zero if the shed rate exceeds $(docv).")
+  in
+  let run smoke seed scale window_minutes out json min_avail max_p99 max_shed =
+    let base = if smoke then Fd.smoke else Fd.default in
+    let params =
+      {
+        base with
+        Fd.seed = Option.value seed ~default:base.Fd.seed;
+        scale = Option.value scale ~default:base.Fd.scale;
+        window_minutes =
+          Option.value window_minutes ~default:base.Fd.window_minutes;
+      }
+    in
+    let r = Fd.run ~params () in
+    if json then print_endline (Fd.to_json r)
+    else begin
+      Fmt.pr
+        "day: seed %d, scale %g, %g-minute windows, %d-%d nodes@."
+        params.Fd.seed params.Fd.scale params.Fd.window_minutes
+        params.Fd.nodes_min params.Fd.nodes_max;
+      Fmt.pr "%a@." Slo.pp r.Fd.report;
+      Fmt.pr "%d events in %.1f s (%.0f events/s)@." r.Fd.events r.Fd.wall_s
+        r.Fd.events_per_s
+    end;
+    (match out with
+    | Some path ->
+        Fd.write_json ~path r;
+        if not json then Fmt.pr "wrote %s@." path
+    | None -> ());
+    let gate =
+      Slo.gate ?min_availability:min_avail
+        ?max_p99_s:(Option.map (fun ms -> ms /. 1000.) max_p99)
+        ?max_shed_rate:max_shed ()
+    in
+    let violations = Slo.check gate r.Fd.report in
+    if violations <> [] then begin
+      List.iter (fun v -> Fmt.epr "day: %s@." v) violations;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "day"
+       ~doc:
+         "Run the day-in-production SLO macro-benchmark: 24h diurnal load x \
+          autoscaling x live migration x chaos faults x overload defenses, \
+          with an SLO report and CI threshold gates")
+    Term.(
+      const run $ smoke_arg $ seed_arg $ scale_arg $ window_arg $ out_arg
+      $ json_arg $ min_avail_arg $ max_p99_arg $ max_shed_arg)
+
+(* ------------------------------------------------------------------ *)
 (* journalgen                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1126,5 +1239,6 @@ let () =
           (Cmd.info "cdbs" ~version:"1.0.0" ~doc)
           [
             classify_cmd; allocate_cmd; simulate_cmd; experiment_cmd;
-            migrate_cmd; check_cmd; chaos_cmd; overload_cmd; journalgen_cmd;
+            migrate_cmd; check_cmd; chaos_cmd; overload_cmd; day_cmd;
+            journalgen_cmd;
           ]))

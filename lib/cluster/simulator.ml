@@ -4,6 +4,8 @@ module Fragment = Cdbs_core.Fragment
 module Planner = Cdbs_migration.Planner
 module Schedule = Cdbs_migration.Schedule
 module Delta = Cdbs_migration.Delta
+module Heap = Cdbs_util.Heap
+module Tel = Cdbs_telemetry
 
 type config = {
   cost : Cost_model.params;
@@ -218,17 +220,16 @@ let run_open_with_migration ?(copy_slowdown = 0.25) config ~target ~schedule
     | Drop_all -> schedule.Schedule.drops_at
   in
   let event_rank = function Copy_start _ -> 0 | Cutover _ -> 1 | Drop_all -> 2 in
-  let events =
-    ref
-      (List.stable_sort
-         (fun a b ->
-           let c = Float.compare (event_time a) (event_time b) in
-           if c <> 0 then c else Int.compare (event_rank a) (event_rank b))
-         (Drop_all
-         :: List.concat_map
-              (fun tm -> [ Copy_start tm; Cutover tm ])
-              schedule.Schedule.moves))
-  in
+  (* Pending migration events on a priority queue; the (time, rank,
+     insertion) heap order matches the stable sort the list-based engine
+     used, so the replay is unchanged. *)
+  let events : mig_event Heap.t = Heap.create () in
+  List.iter
+    (fun e -> Heap.add events ~time:(event_time e) ~rank:(event_rank e) e)
+    (Drop_all
+    :: List.concat_map
+         (fun tm -> [ Copy_start tm; Cutover tm ])
+         schedule.Schedule.moves);
   let apply_event = function
     | Copy_start tm ->
         Delta.open_capture delta ~dest:tm.Schedule.move.Planner.dest
@@ -260,14 +261,10 @@ let run_open_with_migration ?(copy_slowdown = 0.25) config ~target ~schedule
               (Fragment.Set.singleton d.Planner.victim))
           plan.Planner.drops
   in
-  let rec apply_events now =
-    match !events with
-    | e :: rest when event_time e <= now ->
-        events := rest;
+  let apply_events now =
+    Heap.drain_until events ~time:now ~f:(fun _at e ->
         apply_event e;
-        observe_mins ();
-        apply_events now
-    | _ -> ()
+        observe_mins ())
   in
   List.iter
     (fun (r : Request.t) ->
@@ -431,6 +428,7 @@ type fault_outcome = {
   recoveries : recovery list;
   downtime : float array;
   max_concurrent_down : int;
+  events : int;
   responses : (float * float) list;
 }
 
@@ -467,10 +465,17 @@ let dyn_time = function
   | Catchup_done { at; _ } -> at
   | Hedge_at { at; _ } -> at
 
+(* Everything the fault engine's event clock processes, unified so it can
+   ride a single priority queue. *)
+type sim_event =
+  | Ev_fault of Fault.timed
+  | Ev_dyn of dyn_event
+  | Ev_arrival of Request.t
+
 module Resilience = Cdbs_resilience
 
-let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience config
-    alloc requests ~faults =
+let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
+    config alloc requests ~faults =
   let n = Allocation.num_backends alloc in
   if Array.length config.speeds <> n then
     invalid_arg "Simulator.run_open_with_faults: speeds length <> backends";
@@ -511,9 +516,30 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience config
     match resilience with Some r -> r | None -> Resilience.Policy.off
   in
   let admission = res.Resilience.Policy.admission in
+  (* Simulated-clock cursor for observers that fire from inside callbacks
+     (the breaker transition hook carries no [now] of its own). *)
+  let now_ref = ref 0. in
+  let on_transition =
+    match telemetry with
+    | None -> None
+    | Some _ ->
+        Some
+          (fun ~backend (st : Resilience.Breaker.state) ->
+            let state =
+              match st with
+              | Resilience.Breaker.Closed -> "closed"
+              | Resilience.Breaker.Open -> "open"
+              | Resilience.Breaker.Half_open -> "half_open"
+            in
+            Tel.Sink.ev telemetry ~at:!now_ref "breaker.transition"
+              [
+                ("backend", Tel.Trace.Int backend);
+                ("state", Tel.Trace.Str state);
+              ])
+  in
   let breaker =
     Option.map
-      (fun config -> Resilience.Breaker.create ~config n)
+      (fun config -> Resilience.Breaker.create ~config ?on_transition n)
       res.Resilience.Policy.breaker
   in
   let hedge = Option.map Resilience.Hedge.create res.Resilience.Policy.hedge in
@@ -541,18 +567,21 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience config
   let recoveries = ref [] in
   let cur_down = ref 0 and max_down = ref 0 in
   let uid = ref 0 in
-  let arrivals = ref requests in
-  let fault_events = ref (Fault.sort faults) in
-  let dyn = ref [] in
-  let insert_dyn e =
-    (* Sorted insertion, FIFO among equal timestamps. *)
-    let rec go = function
-      | [] -> [ e ]
-      | x :: rest as l ->
-          if dyn_time e < dyn_time x then e :: l else x :: go rest
-    in
-    dyn := go !dyn
-  in
+  (* The event clock lives on one priority queue.  Ranks order the three
+     event categories at equal instants exactly as the historical
+     three-way sorted-list merge did — faults first, then internal events
+     (retries, catch-ups, hedges), then arrivals — and insertion order
+     breaks the remaining ties (FIFO within a category), so outcomes are
+     bit-identical to the list-based engine. *)
+  let q : sim_event Heap.t = Heap.create ~capacity:(max 256 (2 * offered)) () in
+  List.iter
+    (fun (f : Fault.timed) -> Heap.add q ~time:f.Fault.at ~rank:0 (Ev_fault f))
+    (Fault.sort faults);
+  List.iter
+    (fun (r : Request.t) ->
+      Heap.add q ~time:r.Request.arrival ~rank:2 (Ev_arrival r))
+    requests;
+  let insert_dyn e = Heap.add q ~time:(dyn_time e) ~rank:1 (Ev_dyn e) in
   (* Service quote: what booking this work on [b] right now would cost,
      without booking it.  Admission and deadline checks run on the quote;
      [commit] turns an accepted quote into a booking. *)
@@ -621,6 +650,9 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience config
         Hashtbl.remove results rc.rc_uid;
         incr shed;
         incr aborted;
+        Tel.Sink.ev telemetry ~at:now "request.shed"
+          [ ("uid", Tel.Trace.Int rc.rc_uid);
+            ("reason", Tel.Trace.Str "evicted_oldest") ];
         true
   in
   let find_read_booking b u =
@@ -648,6 +680,10 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience config
       end
       else begin
         incr retries;
+        Tel.Sink.ev telemetry ~at:now "request.retry"
+          [ ("uid", Tel.Trace.Int rc.rc_uid);
+            ("attempt", Tel.Trace.Int attempt);
+            ("retry_at", Tel.Trace.Float at) ];
         Hashtbl.replace retried rc.rc_uid ();
         insert_dyn (Retry_at (at, { rc with rc_attempt = attempt }))
       end
@@ -660,8 +696,13 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience config
     | Some h ->
         let d = Resilience.Hedge.delay h in
         Resilience.Hedge.observe h (finish -. now);
-        if finish -. now > d then
+        if finish -. now > d then begin
+          Tel.Sink.ev telemetry ~at:now "request.hedge_armed"
+            [ ("uid", Tel.Trace.Int rc.rc_uid);
+              ("primary", Tel.Trace.Int b);
+              ("fire_at", Tel.Trace.Float (now +. d)) ];
           insert_dyn (Hedge_at { at = now +. d; primary = b; ctx = rc })
+        end
   in
   let handle_read ~now rc =
     if deadline_on && now >= rc.rc_deadline then begin
@@ -719,7 +760,10 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience config
                     else begin
                       (* Queue holds no evictable read: shed the newcomer. *)
                       incr shed;
-                      incr aborted
+                      incr aborted;
+                      Tel.Sink.ev telemetry ~at:now "request.shed"
+                        [ ("uid", Tel.Trace.Int rc.rc_uid);
+                          ("reason", Tel.Trace.Str "refused_newcomer") ]
                     end))
   in
   let handle_update ~now (r : Request.t) u =
@@ -768,6 +812,8 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience config
   in
   let crash ~now b =
     if Scheduler.is_up sched ~backend:b then begin
+      Tel.Sink.ev telemetry ~at:now "backend.crash"
+        [ ("backend", Tel.Trace.Int b) ];
       Scheduler.set_down sched ~backend:b;
       down_since.(b) <- now;
       incr cur_down;
@@ -814,6 +860,9 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience config
           missed := !missed +. mb)
         (Allocation.fragments_of alloc b);
       let crashed_at = down_since.(b) in
+      Tel.Sink.ev telemetry ~at:now "backend.recover"
+        [ ("backend", Tel.Trace.Int b);
+          ("replay_mb", Tel.Trace.Float !missed) ];
       if !missed <= 0. then begin
         Scheduler.set_up sched ~backend:b;
         recoveries :=
@@ -855,6 +904,10 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience config
     | Fault.Crash b -> crash ~now b
     | Fault.Recover b -> recover ~now b
     | Fault.Slowdown { backend = b; factor; duration } ->
+        Tel.Sink.ev telemetry ~at:now "backend.slowdown"
+          [ ("backend", Tel.Trace.Int b);
+            ("factor", Tel.Trace.Float factor);
+            ("duration_s", Tel.Trace.Float duration) ];
         slow_factor.(b) <- factor;
         slow_until.(b) <- now +. duration
   in
@@ -867,6 +920,8 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience config
           && Scheduler.is_stale sched ~backend:b
         then begin
           Scheduler.set_stale sched ~backend:b ~stale:false;
+          Tel.Sink.ev telemetry ~at:now "backend.catchup_done"
+            [ ("backend", Tel.Trace.Int b) ];
           match Hashtbl.find_opt pending_catchup b with
           | Some r ->
               r.caught_up_at <- now;
@@ -936,6 +991,9 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience config
                           incr hedged;
                           if f2 < f1 then begin
                             incr hedge_wins;
+                            Tel.Sink.ev telemetry ~at:now "request.hedge_win"
+                              [ ("uid", Tel.Trace.Int rc.rc_uid);
+                                ("backend", Tel.Trace.Int b2) ];
                             ignore (commit ~mb ~kind:(Bk_read rc) b2 q2);
                             (* Cancel the losing primary leg: its already-
                                served prefix is sunk cost. *)
@@ -960,44 +1018,20 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience config
                         end)))
         | _ -> () (* completed before the hedge fired, or mid-retry *))
   in
-  (* The event clock: merge fault events, retries/catch-ups and arrivals in
-     time order (faults before internal events before arrivals at equal
-     instants).  Crucially, fault events keep being processed after the
-     last arrival — a crash still cancels whatever is queued. *)
-  let le a b =
-    match (a, b) with
-    | Some x, Some y -> x <= y
-    | Some _, None -> true
-    | None, _ -> false
-  in
+  (* The event clock: pop events in (time, rank, insertion) order.
+     Crucially, fault events keep being processed after the last
+     arrival — a crash still cancels whatever is queued. *)
+  let events_processed = ref 0 in
   let rec loop () =
-    let fa =
-      match !fault_events with f :: _ -> Some f.Fault.at | [] -> None
-    in
-    let dy = match !dyn with e :: _ -> Some (dyn_time e) | [] -> None in
-    let ar =
-      match !arrivals with r :: _ -> Some r.Request.arrival | [] -> None
-    in
-    if fa = None && dy = None && ar = None then ()
-    else begin
-      if le fa dy && le fa ar then begin
-        match !fault_events with
-        | f :: rest ->
-            fault_events := rest;
-            apply_fault f
-        | [] -> assert false
-      end
-      else if le dy ar then begin
-        match !dyn with
-        | e :: rest ->
-            dyn := rest;
-            apply_dyn e
-        | [] -> assert false
-      end
-      else begin
-        match !arrivals with
-        | r :: rest ->
-            arrivals := rest;
+    match Heap.pop_timed q with
+    | None -> ()
+    | Some (at, ev) ->
+        incr events_processed;
+        now_ref := at;
+        (match ev with
+        | Ev_fault f -> apply_fault f
+        | Ev_dyn e -> apply_dyn e
+        | Ev_arrival r ->
             let u = !uid in
             incr uid;
             if r.Request.is_update then handle_update ~now:r.Request.arrival r u
@@ -1010,11 +1044,8 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience config
                   rc_arrival = r.Request.arrival;
                   rc_attempt = 0;
                   rc_deadline = deadline_of ~arrival:r.Request.arrival;
-                }
-        | [] -> assert false
-      end;
-      loop ()
-    end
+                });
+        loop ()
   in
   loop ();
   let makespan =
@@ -1040,6 +1071,21 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience config
     List.fold_left (fun acc (_, r, _) -> max acc r) 0. all
   in
   let p50, p95, p99 = percentiles_of (List.map (fun (_, r, _) -> r) all) in
+  (match telemetry with
+  | None -> ()
+  | Some sink ->
+      let h = Tel.Metrics.histogram sink.Tel.Sink.metrics "sim.response_s" in
+      List.iter (fun (_, r, _) -> Tel.Histogram.record h r) all;
+      let cn = Tel.Sink.cn telemetry in
+      cn "sim.events" !events_processed;
+      cn "sim.offered" offered;
+      cn "sim.completed" completed;
+      cn "sim.retries" !retries;
+      cn "sim.aborted" !aborted;
+      cn "sim.timeouts" !timeouts;
+      cn "sim.shed" !shed;
+      cn "sim.hedged" !hedged;
+      cn "sim.hedge_wins" !hedge_wins);
   {
     run =
       {
@@ -1084,6 +1130,7 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience config
     recoveries = List.rev !recoveries;
     downtime;
     max_concurrent_down = !max_down;
+    events = !events_processed;
     responses = List.map (fun (a, r, _) -> (a, r)) all;
   }
 

@@ -96,6 +96,9 @@ type fault_outcome = {
   recoveries : recovery list;  (** one per completed [Recover], in order *)
   downtime : float array;  (** per-backend seconds spent down *)
   max_concurrent_down : int;
+  events : int;
+      (** total events the clock processed (arrivals + faults + retries +
+          hedges + catch-up completions) — the denominator of events/sec *)
   responses : (float * float) list;
       (** per completed request, [(original arrival, response)] in arrival
           order — responses of retried reads span the whole retry chain *)
@@ -105,6 +108,7 @@ val run_open_with_faults :
   ?policy:Cdbs_faults.Retry.policy ->
   ?rng:Cdbs_util.Rng.t ->
   ?resilience:Cdbs_resilience.Policy.t ->
+  ?telemetry:Cdbs_telemetry.Sink.t ->
   config ->
   Cdbs_core.Allocation.t ->
   Request.t list ->
@@ -128,6 +132,14 @@ val run_open_with_faults :
 
     [rng] (seeded, deterministic) enables the retry policy's backoff
     jitter; without it backoffs are exact.
+
+    [telemetry] attaches an observation sink: the run's latency
+    distribution and headline counters land in its metrics registry, and
+    the request/backend lifecycle (crashes, recoveries, catch-ups,
+    slowdowns, retries, sheds, hedges, breaker transitions) is emitted
+    as trace events stamped with the simulated clock.  Telemetry is
+    strictly an observer — with or without a sink the outcome is
+    bit-identical.
 
     [resilience] wires the overload/gray-failure defenses into the run
     (all off by default, reproducing the legacy engine exactly):

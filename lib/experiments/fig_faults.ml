@@ -8,7 +8,7 @@ module Simulator = Cdbs_cluster.Simulator
 module Request = Cdbs_cluster.Request
 module Fault = Cdbs_faults.Fault
 module Rng = Cdbs_util.Rng
-module Stats = Cdbs_util.Stats
+module Histogram = Cdbs_telemetry.Histogram
 
 type row = {
   k : int;
@@ -61,10 +61,12 @@ let requests ~seed ~rate_per_s ~duration =
     (fun (r : Request.t) -> { r with Request.arrival = Rng.float rng duration })
     (Spec.requests ~rng ~n (Trace.specs_at ~hour:14.))
 
+(* Tail latency via the telemetry histogram (2.6 % bucket width at the
+   default resolution) instead of a full sort of the response list. *)
 let p99_ms responses =
-  match responses with
-  | [] -> 0.
-  | rs -> 1000. *. Stats.percentile 99. (List.map snd rs)
+  let h = Histogram.create () in
+  List.iter (fun (_, r) -> Histogram.record h r) responses;
+  1000. *. Histogram.percentile h 99.
 
 (* Degradation grid: for each k-safety degree, crash 0..max_crashes
    backends a quarter into the run (no recovery) and measure how service

@@ -7,6 +7,7 @@ module Request = Cdbs_cluster.Request
 module Fault = Cdbs_faults.Fault
 module Rng = Cdbs_util.Rng
 module Res = Cdbs_resilience
+module Histogram = Cdbs_telemetry.Histogram
 
 type run_stats = {
   offered : int;
@@ -66,14 +67,20 @@ let defenses ~deadline_s =
     ~deadline:(Res.Deadline.make ~budget:deadline_s) ()
 
 let stats_of (fo : Simulator.fault_outcome) =
+  (* Latency percentiles through the telemetry histogram: both arms of a
+     comparison use identical buckets, so the defended-vs-undefended
+     ordering the acceptance criterion checks is preserved (the bucket
+     map is monotone). *)
+  let h = Histogram.create () in
+  List.iter (fun (_, r) -> Histogram.record h r) fo.Simulator.responses;
   {
     offered = fo.Simulator.offered;
     completed = fo.Simulator.run.Simulator.completed;
     availability = fo.Simulator.availability;
     avg_ms = 1000. *. fo.Simulator.run.Simulator.avg_response;
-    p50_ms = 1000. *. fo.Simulator.run.Simulator.p50_response;
-    p95_ms = 1000. *. fo.Simulator.run.Simulator.p95_response;
-    p99_ms = 1000. *. fo.Simulator.run.Simulator.p99_response;
+    p50_ms = 1000. *. Histogram.percentile h 50.;
+    p95_ms = 1000. *. Histogram.percentile h 95.;
+    p99_ms = 1000. *. Histogram.percentile h 99.;
     shed = fo.Simulator.shed;
     shed_updates = fo.Simulator.shed_updates;
     timeouts = fo.Simulator.timeouts;

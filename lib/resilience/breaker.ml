@@ -60,7 +60,12 @@ type backend = {
   mutable probe_successes : int;
 }
 
-type t = { config : config; backends : backend array; mutable trips : int }
+type t = {
+  config : config;
+  backends : backend array;
+  mutable trips : int;
+  mutable hook : (backend:int -> state -> unit) option;
+}
 
 let fresh cfg =
   {
@@ -75,9 +80,19 @@ let fresh cfg =
     probe_successes = 0;
   }
 
-let create ?(config = default_config) n =
+let create ?(config = default_config) ?on_transition n =
   if n < 1 then invalid_arg "Breaker.create: need at least one backend";
-  { config; backends = Array.init n (fun _ -> fresh config); trips = 0 }
+  {
+    config;
+    backends = Array.init n (fun _ -> fresh config);
+    trips = 0;
+    hook = on_transition;
+  }
+
+let set_on_transition t hook = t.hook <- hook
+
+let notify t ~backend st =
+  match t.hook with None -> () | Some f -> f ~backend st
 
 let config t = t.config
 let num_backends t = Array.length t.backends
@@ -91,8 +106,12 @@ let reset_stats be =
   be.w_failures <- 0;
   Array.fill be.window 0 (Array.length be.window) false
 
-let trip t be ~now =
-  if be.st <> Open then t.trips <- t.trips + 1;
+let trip t ~backend ~now =
+  let be = get t backend in
+  if be.st <> Open then begin
+    t.trips <- t.trips + 1;
+    notify t ~backend Open
+  end;
   be.st <- Open;
   be.opened_at <- now;
   be.probe_successes <- 0
@@ -107,6 +126,7 @@ let allows t ~backend ~now =
       if now -. be.opened_at >= t.config.cool_down then begin
         be.st <- Half_open;
         be.probe_successes <- 0;
+        notify t ~backend Half_open;
         true
       end
       else false
@@ -163,15 +183,16 @@ let record_success t ~backend ~now ~latency =
         | Some m -> m > 0. && latency > cfg.latency_factor *. m
         | None -> false
       in
-      if probe_slow then trip t be ~now
+      if probe_slow then trip t ~backend ~now
       else begin
         be.probe_successes <- be.probe_successes + 1;
         if be.probe_successes >= cfg.probes then begin
           be.st <- Closed;
-          reset_stats be
+          reset_stats be;
+          notify t ~backend Closed
         end
       end
-  | Closed -> if latency_tripped t backend be then trip t be ~now
+  | Closed -> if latency_tripped t backend be then trip t ~backend ~now
 
 let record_failure t ~backend ~now =
   let cfg = t.config in
@@ -179,13 +200,14 @@ let record_failure t ~backend ~now =
   push_window cfg be ~failure:true;
   match be.st with
   | Open -> ()
-  | Half_open -> trip t be ~now
-  | Closed -> if error_tripped cfg be then trip t be ~now
+  | Half_open -> trip t ~backend ~now
+  | Closed -> if error_tripped cfg be then trip t ~backend ~now
 
-let force_open t ~backend ~now = trip t (get t backend) ~now
+let force_open t ~backend ~now = trip t ~backend ~now
 
 let force_close t ~backend =
   let be = get t backend in
+  if be.st <> Closed then notify t ~backend Closed;
   be.st <- Closed;
   be.probe_successes <- 0;
   reset_stats be

@@ -56,8 +56,15 @@ val make_config :
 
 type t
 
-val create : ?config:config -> int -> t
-(** [create n] tracks [n] backends, all Closed. *)
+val create :
+  ?config:config -> ?on_transition:(backend:int -> state -> unit) -> int -> t
+(** [create n] tracks [n] backends, all Closed.  [on_transition] is
+    invoked at every state change with the backend and its {e new} state
+    — the observation hook telemetry hangs breaker-transition trace
+    events on.  It must not call back into the breaker. *)
+
+val set_on_transition : t -> (backend:int -> state -> unit) option -> unit
+(** Install or remove the transition hook after creation. *)
 
 val config : t -> config
 val num_backends : t -> int

@@ -19,27 +19,45 @@ let make ?(percentile = default.percentile) ?(min_delay = default.min_delay)
     invalid_arg "Hedge.make: window < min_observations";
   { percentile; min_delay; min_observations; window }
 
+module Histogram = Cdbs_telemetry.Histogram
+
+(* Two rotating histogram windows (current + previous) instead of a raw
+   sample reservoir: [merged] is kept equal to their sum at all times, so
+   [observe] is O(1) and [delay] is a single bucket walk — no per-call
+   sorting, and the tracked population stays bounded between [window] and
+   [2 * window] recent latencies. *)
 type t = {
   policy : policy;
-  buf : float array;
-  mutable len : int;
-  mutable pos : int;
+  mutable cur : Histogram.t;
+  mutable prev : Histogram.t;
+  merged : Histogram.t;
 }
 
 let create policy =
-  { policy; buf = Array.make policy.window 0.; len = 0; pos = 0 }
+  {
+    policy;
+    cur = Histogram.create ();
+    prev = Histogram.create ();
+    merged = Histogram.create ();
+  }
 
 let policy t = t.policy
 
 let observe t latency =
-  t.buf.(t.pos) <- latency;
-  t.pos <- (t.pos + 1) mod t.policy.window;
-  if t.len < t.policy.window then t.len <- t.len + 1
+  Histogram.record t.cur latency;
+  Histogram.record t.merged latency;
+  if Histogram.count t.cur >= t.policy.window then begin
+    let old = t.prev in
+    Histogram.reset old;
+    t.prev <- t.cur;
+    t.cur <- old;
+    Histogram.reset t.merged;
+    Histogram.merge_into t.merged ~from:t.prev
+  end
 
-let observations t = t.len
+let observations t = Histogram.count t.merged
 
 let delay t =
-  if t.len < t.policy.min_observations then t.policy.min_delay
+  if observations t < t.policy.min_observations then t.policy.min_delay
   else
-    let xs = Array.to_list (Array.sub t.buf 0 t.len) in
-    max t.policy.min_delay (Cdbs_util.Stats.percentile t.policy.percentile xs)
+    max t.policy.min_delay (Histogram.percentile t.merged t.policy.percentile)

@@ -4,16 +4,20 @@
     speculative second dispatch to the next-best replica; the first
     completion wins and the loser is cancelled on the event clock.  The
     hedge delay adapts to the observed read-latency distribution: it is
-    the configured percentile of a sliding reservoir of recent read
-    latencies, floored at [min_delay] so a cold tracker never hedges
-    everything. *)
+    the configured percentile of the recent read latencies, floored at
+    [min_delay] so a cold tracker never hedges everything.
+
+    Latencies are tracked in two rotating {!Cdbs_telemetry.Histogram}
+    windows (current + previous), so [observe] is O(1), [delay] needs no
+    sorting, and the tracked population stays bounded between [window]
+    and [2 * window] recent observations. *)
 
 type policy = {
   percentile : float;  (** latency percentile that sets the hedge delay *)
   min_delay : float;  (** floor for the hedge delay (seconds) *)
   min_observations : int;
-      (** reservoir size required before the percentile is trusted *)
-  window : int;  (** reservoir capacity (recent read latencies) *)
+      (** observations required before the percentile is trusted *)
+  window : int;  (** rotation size of the latency windows *)
 }
 
 val default : policy
@@ -29,7 +33,7 @@ val make :
 (** @raise Invalid_argument on out-of-range parameters. *)
 
 type t
-(** A latency tracker (mutable sliding reservoir). *)
+(** A latency tracker (mutable rotating histogram windows). *)
 
 val create : policy -> t
 val policy : t -> policy
@@ -38,8 +42,9 @@ val observe : t -> float -> unit
 (** Record a completed read latency. *)
 
 val observations : t -> int
-(** Number of latencies currently in the reservoir. *)
+(** Number of latencies currently tracked (bounded by [2 * window]). *)
 
 val delay : t -> float
-(** Current hedge delay: [max min_delay (percentile of reservoir)] once
-    [min_observations] latencies are present, else [min_delay]. *)
+(** Current hedge delay: [max min_delay (percentile of the tracked
+    latencies)] once [min_observations] latencies are present, else
+    [min_delay]. *)

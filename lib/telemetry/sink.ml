@@ -1,0 +1,22 @@
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+let create ?capacity () =
+  { metrics = Metrics.create (); trace = Trace.create ?capacity () }
+
+let c sink name =
+  match sink with
+  | None -> ()
+  | Some s -> Metrics.incr (Metrics.counter s.metrics name)
+
+let cn sink name n =
+  match sink with
+  | None -> ()
+  | Some s -> Metrics.add (Metrics.counter s.metrics name) n
+
+let h sink name v =
+  match sink with
+  | None -> ()
+  | Some s -> Histogram.record (Metrics.histogram s.metrics name) v
+
+let ev sink ~at name attrs =
+  match sink with None -> () | Some s -> Trace.emit s.trace ~at name attrs

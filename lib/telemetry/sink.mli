@@ -1,0 +1,24 @@
+(** A telemetry sink bundles a metrics registry with a trace ring.
+
+    Instrumented code takes a [Sink.t option]; passing [None] keeps the
+    instrumented path free of telemetry work, so legacy behaviour (and
+    bit-identical outputs) are preserved when observation is off.  The
+    [c]/[h]/[ev] helpers make call sites one-liners that are no-ops on
+    [None]. *)
+
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+val create : ?capacity:int -> unit -> t
+(** Fresh sink; [capacity] bounds the trace ring (default 4096). *)
+
+val c : t option -> string -> unit
+(** Increment a named counter (no-op on [None]). *)
+
+val cn : t option -> string -> int -> unit
+(** Add [n] to a named counter (no-op on [None]). *)
+
+val h : t option -> string -> float -> unit
+(** Record into a named histogram (no-op on [None]). *)
+
+val ev : t option -> at:float -> string -> (string * Trace.value) list -> unit
+(** Emit a trace event (no-op on [None]). *)

@@ -1,0 +1,71 @@
+(** SLO report: the service-level summary of a run.
+
+    One record gathers what an operator would put on a dashboard after a
+    day in production — availability, latency percentiles, shed rate,
+    wasted work, bytes moved by migrations, per-backend utilization —
+    with text and JSON renderers, and a [gate] that turns threshold
+    violations into a failing exit code in CI. *)
+
+type t = {
+  duration_s : float;        (** simulated time covered *)
+  offered : int;             (** requests offered *)
+  completed : int;           (** requests that finished in time *)
+  shed : int;                (** refused by admission/breaker/deadline *)
+  failed : int;              (** aborted for any other reason *)
+  availability : float;      (** completed / offered *)
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+  mean_s : float;
+  shed_rate : float;         (** shed / offered *)
+  wasted_work_s : float;     (** service seconds spent on discarded work
+                                 (hedge losers, doomed reads) *)
+  retries : int;
+  hedges : int;
+  bytes_moved_mb : float;    (** migration copy traffic *)
+  migrations : int;          (** migration plans executed *)
+  faults_injected : int;
+  utilization : (int * float) list;
+      (** per-backend busy fraction, sorted by backend id *)
+}
+
+val availability_of : offered:int -> completed:int -> float
+(** [completed / offered]; 1.0 when nothing was offered. *)
+
+val of_histogram :
+  duration_s:float ->
+  offered:int ->
+  completed:int ->
+  shed:int ->
+  failed:int ->
+  wasted_work_s:float ->
+  retries:int ->
+  hedges:int ->
+  bytes_moved_mb:float ->
+  migrations:int ->
+  faults_injected:int ->
+  utilization:(int * float) list ->
+  Histogram.t ->
+  t
+(** Build a report, deriving availability, shed rate and the latency
+    fields (p50/p95/p99/mean) from the histogram. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering. *)
+
+val to_json : t -> string
+(** Deterministic single-line JSON object. *)
+
+(** {1 Gating} *)
+
+type gate = {
+  min_availability : float option;
+  max_p99_s : float option;
+  max_shed_rate : float option;
+}
+
+val gate : ?min_availability:float -> ?max_p99_s:float -> ?max_shed_rate:float
+  -> unit -> gate
+
+val check : gate -> t -> string list
+(** Human-readable violation messages; empty means the report passes. *)

@@ -1,0 +1,68 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = { at : float; name : string; attrs : (string * value) list }
+
+type t = {
+  ring : event option array;
+  mutable head : int;  (* next write position *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity <= 0";
+  { ring = Array.make capacity None; head = 0; len = 0; dropped = 0 }
+
+let capacity t = Array.length t.ring
+
+let emit t ~at name attrs =
+  let e = { at; name; attrs } in
+  let cap = capacity t in
+  (if t.len = cap then t.dropped <- t.dropped + 1
+   else t.len <- t.len + 1);
+  t.ring.(t.head) <- Some e;
+  t.head <- (t.head + 1) mod cap
+
+let length t = t.len
+let dropped t = t.dropped
+let total t = t.len + t.dropped
+
+let events t =
+  let cap = capacity t in
+  let start = (t.head - t.len + cap) mod cap in
+  List.init t.len (fun i ->
+      match t.ring.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let find t name = List.filter (fun e -> String.equal e.name name) (events t)
+
+let clear t =
+  Array.fill t.ring 0 (capacity t) None;
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+type span = { s_name : string; s_at : float }
+
+let span_start t ~at name attrs =
+  emit t ~at (name ^ ".start") attrs;
+  { s_name = name; s_at = at }
+
+let span_end t ~at span attrs =
+  emit t ~at (span.s_name ^ ".end")
+    (("duration_s", Float (at -. span.s_at)) :: attrs)
+
+let pp_value ppf = function
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.pf ppf "%g" f
+  | Str s -> Fmt.string ppf s
+  | Bool b -> Fmt.bool ppf b
+
+let pp_event ppf e =
+  Fmt.pf ppf "[%10.4f] %s%a" e.at e.name
+    Fmt.(
+      list ~sep:nop (fun ppf (k, v) -> Fmt.pf ppf " %s=%a" k pp_value v))
+    e.attrs
+
+let pp ppf t = Fmt.(list ~sep:(any "@\n") pp_event) ppf (events t)

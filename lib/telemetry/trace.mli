@@ -1,0 +1,55 @@
+(** Structured trace events keyed on the simulated event clock.
+
+    A trace is a bounded ring of [{at; name; attrs}] events.  Emitters
+    stamp events with the simulation time, not wall clock, so a trace
+    reads as a causally ordered story of a run: request lifecycle,
+    retries, hedges, migration copy/cutover, breaker transitions, shed
+    and refusal decisions.  When the ring fills, the oldest events are
+    dropped (and counted) — tracing never grows without bound and never
+    perturbs the simulation. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = { at : float; name : string; attrs : (string * value) list }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer of up to [capacity] events (default 4096).
+    @raise Invalid_argument when [capacity <= 0]. *)
+
+val emit : t -> at:float -> string -> (string * value) list -> unit
+(** Append an event; evicts the oldest when full. *)
+
+val length : t -> int
+(** Events currently retained. *)
+
+val dropped : t -> int
+(** Events evicted because the ring was full. *)
+
+val total : t -> int
+(** Events ever emitted ([length + dropped]). *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val find : t -> string -> event list
+(** Retained events with the given name, oldest first. *)
+
+val clear : t -> unit
+
+(** {1 Spans}
+
+    A span is a named interval on the simulated clock.  [span_start]
+    emits a ["<name>.start"] event and returns a handle; [span_end]
+    emits ["<name>.end"] carrying the duration plus any extra
+    attributes. *)
+
+type span
+
+val span_start : t -> at:float -> string -> (string * value) list -> span
+val span_end : t -> at:float -> span -> (string * value) list -> unit
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit
+(** All retained events, one per line. *)

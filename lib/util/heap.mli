@@ -1,0 +1,45 @@
+(** Binary min-heap priority queue keyed on time, for discrete-event
+    simulation.
+
+    Entries are ordered by [(time, rank, insertion sequence)]: earliest
+    time first; at equal times the lowest rank wins (event categories —
+    e.g. faults before internal events before arrivals); at equal time
+    and rank, FIFO.  This total order makes a heap-driven event loop
+    reproduce exactly what merging independently sorted event lists
+    yields, so simulations stay bit-identical under the refactor.
+
+    The implementation is allocation-light: keys live in an unboxed float
+    array, ranks and sequence numbers in int arrays, and payloads in a
+    parallel array, all grown by doubling — pushing millions of events
+    allocates O(log n) arrays total and no per-event boxes beyond the
+    payload itself. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Empty heap.  [capacity] pre-sizes the backing arrays (default 256).
+    @raise Invalid_argument when [capacity <= 0]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:float -> ?rank:int -> 'a -> unit
+(** Push an entry.  [rank] breaks ties among equal times (default 0);
+    insertion order breaks ties among equal [(time, rank)]. *)
+
+val min_time : 'a t -> float option
+(** Key of the next entry to pop, without popping. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum entry's payload. *)
+
+val pop_timed : 'a t -> (float * 'a) option
+(** Remove and return the minimum entry as [(time, payload)]. *)
+
+val clear : 'a t -> unit
+(** Drop every entry (keeps the backing arrays). *)
+
+val drain_until : 'a t -> time:float -> f:(float -> 'a -> unit) -> unit
+(** Pop every entry with [entry_time <= time], in order, applying [f].
+    Entries [f] itself pushes are drained too when they fall inside the
+    bound. *)

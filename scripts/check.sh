@@ -32,4 +32,11 @@ dune exec bin/cdbs_cli.exe -- overload --seed 11 -n 4 --rate 240 \
   --duration 120 --slow-factor 3 --deadline 1 --json \
   --max-p99-ms 950 --max-shed-rate 0.15
 
+# Day-in-production smoke: the scaled-down 24h macro-benchmark (diurnal
+# load, autoscaling, live migration, chaos, defenses) must hold the SLO
+# and persist its BENCH_day.json report (non-zero exit on violation).
+dune exec bin/cdbs_cli.exe -- day --smoke --json --out BENCH_day.json \
+  --min-availability 0.99 --max-p99-ms 50 --max-shed-rate 0.01
+test -s BENCH_day.json
+
 echo "check: OK"

@@ -22,4 +22,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("paper-examples", Test_paper_examples.suite);
       ("resilience", Test_resilience.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -1,0 +1,354 @@
+(* Telemetry subsystem: the heap event core, log-bucketed histograms,
+   the metrics registry, trace rings, SLO reports — and the two contracts
+   the rest of the repo leans on: heap order matches sorted order, and a
+   telemetry sink never changes simulation outcomes. *)
+
+module Heap = Cdbs_util.Heap
+module Stats = Cdbs_util.Stats
+module Rng = Cdbs_util.Rng
+module Tel = Cdbs_telemetry
+module Histogram = Tel.Histogram
+module Metrics = Tel.Metrics
+module Trace = Tel.Trace
+module Slo = Tel.Slo_report
+module Simulator = Cdbs_cluster.Simulator
+module Ksafety = Cdbs_core.Ksafety
+module Fault = Cdbs_faults.Fault
+module Fd = Cdbs_experiments.Fig_day
+
+(* ---------------- heap: unit ---------------- *)
+
+let test_heap_basics () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "fresh heap empty" true (Heap.is_empty h);
+  Alcotest.(check (option (pair (float 0.) string))) "pop on empty" None
+    (Heap.pop_timed h);
+  Heap.add h ~time:3. "c";
+  Heap.add h ~time:1. "a";
+  Heap.add h ~time:2. "b";
+  Alcotest.(check (option (float 0.))) "min_time peeks" (Some 1.)
+    (Heap.min_time h);
+  Alcotest.(check int) "length" 3 (Heap.length h);
+  Alcotest.(check (option string)) "pop min" (Some "a") (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.) string)))
+    "pop_timed returns key" (Some (2., "b")) (Heap.pop_timed h);
+  Alcotest.(check (option string)) "last" (Some "c") (Heap.pop h);
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let test_heap_tie_breaking () =
+  let h = Heap.create ~capacity:1 () in
+  (* Equal times: rank decides; equal (time, rank): FIFO. *)
+  Heap.add h ~time:5. ~rank:2 "arrival-1";
+  Heap.add h ~time:5. ~rank:0 "fault-1";
+  Heap.add h ~time:5. ~rank:1 "dyn-1";
+  Heap.add h ~time:5. ~rank:1 "dyn-2";
+  Heap.add h ~time:5. ~rank:0 "fault-2";
+  let order = List.init 5 (fun _ -> Option.get (Heap.pop h)) in
+  Alcotest.(check (list string))
+    "rank then FIFO"
+    [ "fault-1"; "fault-2"; "dyn-1"; "dyn-2"; "arrival-1" ]
+    order
+
+let test_heap_drain_until () =
+  let h = Heap.create () in
+  List.iter (fun t -> Heap.add h ~time:t t) [ 4.; 1.; 3.; 2.; 9. ];
+  let seen = ref [] in
+  Heap.drain_until h ~time:3. ~f:(fun at v ->
+      Alcotest.(check (float 0.)) "key equals payload" v at;
+      seen := v :: !seen;
+      (* Entries pushed mid-drain inside the bound drain too. *)
+      if v = 1. then Heap.add h ~time:2.5 2.5);
+  Alcotest.(check (list (float 0.))) "in-order within bound"
+    [ 1.; 2.; 2.5; 3. ] (List.rev !seen);
+  Alcotest.(check int) "rest stays" 2 (Heap.length h)
+
+(* ---------------- heap: property ---------------- *)
+
+(* Heap pop order is exactly the stable sort of the input by
+   (time, rank): the contract that made the simulator refactor safe. *)
+let prop_heap_matches_sorted =
+  QCheck.Test.make ~count:200 ~name:"heap pop order = stable sort order"
+    QCheck.(list (pair (int_range 0 8) (int_range 0 2)))
+    (fun entries ->
+      (* A coarse time grid plus only three ranks forces many ties, the
+         interesting case. *)
+      let entries =
+        List.mapi (fun i (t, r) -> (float_of_int t, r, i)) entries
+      in
+      let h = Heap.create () in
+      List.iter (fun (t, r, i) -> Heap.add h ~time:t ~rank:r i) entries;
+      let popped = ref [] in
+      let rec drain () =
+        match Heap.pop h with
+        | Some i ->
+            popped := i :: !popped;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      let expected =
+        List.stable_sort
+          (fun (t1, r1, _) (t2, r2, _) ->
+            match Float.compare t1 t2 with
+            | 0 -> Int.compare r1 r2
+            | c -> c)
+          entries
+        |> List.map (fun (_, _, i) -> i)
+      in
+      List.rev !popped = expected)
+
+(* ---------------- histogram: unit ---------------- *)
+
+let test_histogram_basics () =
+  let h = Histogram.create () in
+  Alcotest.(check (float 0.)) "empty quantile" 0. (Histogram.quantile h 0.5);
+  Alcotest.(check int) "empty count" 0 (Histogram.count h);
+  List.iter (Histogram.record h) [ 0.010; 0.020; 0.030 ];
+  Histogram.record_n h 0.020 ~n:2;
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  Alcotest.(check (float 1e-12)) "sum exact" 0.1 (Histogram.sum h);
+  Alcotest.(check (float 1e-12)) "mean exact" 0.02 (Histogram.mean h);
+  Alcotest.(check (float 1e-12)) "min exact" 0.010 (Histogram.min_recorded h);
+  Alcotest.(check (float 1e-12)) "max exact" 0.030 (Histogram.max_recorded h);
+  (* Quantile estimates clamp to the observed range. *)
+  Alcotest.(check bool) "p99 <= max" true
+    (Histogram.percentile h 99. <= 0.030);
+  Alcotest.(check bool) "p1 >= min" true (Histogram.percentile h 1. >= 0.010);
+  Histogram.record h 1e-9;
+  Alcotest.(check int) "below min_value underflows" 1 (Histogram.underflow h);
+  Histogram.reset h;
+  Alcotest.(check int) "reset empties" 0 (Histogram.count h)
+
+let test_histogram_merge_params () =
+  let a = Histogram.create ~per_decade:90 () in
+  let b = Histogram.create ~per_decade:30 () in
+  match Histogram.merge_into a ~from:b with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "merging mismatched bucketings should be rejected"
+
+(* ---------------- histogram: properties ---------------- *)
+
+let values_arbitrary =
+  (* Positive values well above min_value, on a lattice so duplicates are
+     common. *)
+  QCheck.(
+    list_of_size
+      Gen.(int_range 1 300)
+      (map (fun k -> 1e-4 *. float_of_int (k + 1)) (int_range 0 5000)))
+
+(* The histogram's nearest-rank quantile lands within one log-bucket of
+   the exact sorted-list quantile. *)
+let prop_histogram_quantile_close =
+  QCheck.Test.make ~count:200
+    ~name:"histogram quantile within one bucket of exact"
+    values_arbitrary
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) xs;
+      (* One bucket spans a factor of 10^(1/per_decade); the midpoint
+         estimate is within half a bucket of any member, and clamping to
+         the observed range can only help. *)
+      let tol = (10. ** (1. /. 90.)) *. (1. +. 1e-9) in
+      List.for_all
+        (fun p ->
+          let exact = Stats.percentile p xs in
+          let est = Histogram.percentile h p in
+          est <= exact *. tol && est >= exact /. tol)
+        [ 1.; 25.; 50.; 75.; 90.; 95.; 99.; 100. ])
+
+(* Merging is exact: bucket-count addition, so any way of splitting and
+   recombining a stream yields the same histogram. *)
+let prop_histogram_merge_associative =
+  QCheck.Test.make ~count:200
+    ~name:"histogram merge = recording the concatenation"
+    QCheck.(triple values_arbitrary values_arbitrary values_arbitrary)
+    (fun (xs, ys, zs) ->
+      let of_list l =
+        let h = Histogram.create () in
+        List.iter (Histogram.record h) l;
+        h
+      in
+      let whole = of_list (xs @ ys @ zs) in
+      (* ((x + y) + z) built by merge... *)
+      let merged = of_list xs in
+      Histogram.merge_into merged ~from:(of_list ys);
+      Histogram.merge_into merged ~from:(of_list zs);
+      (* ...and (x + (y + z)) the other way around. *)
+      let yz = of_list ys in
+      Histogram.merge_into yz ~from:(of_list zs);
+      let merged' = of_list xs in
+      Histogram.merge_into merged' ~from:yz;
+      Histogram.buckets merged = Histogram.buckets whole
+      && Histogram.buckets merged' = Histogram.buckets whole
+      && Histogram.count merged = Histogram.count whole
+      && abs_float (Histogram.sum merged -. Histogram.sum whole) < 1e-9
+      && Histogram.min_recorded merged = Histogram.min_recorded whole
+      && Histogram.max_recorded merged = Histogram.max_recorded whole)
+
+(* ---------------- metrics registry ---------------- *)
+
+let contains ~needle haystack =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  let req = Metrics.counter m "requests" in
+  Metrics.incr req;
+  Metrics.add (Metrics.counter m "requests") 4;
+  Metrics.incr (Metrics.counter m "errors");
+  Metrics.set_gauge (Metrics.gauge m "nodes") 6.;
+  Alcotest.(check int) "counter interned" 5 (Metrics.counter_value req);
+  Alcotest.(check (option int)) "find_counter" (Some 5)
+    (Metrics.find_counter m "requests");
+  Alcotest.(check (option int)) "unknown counter absent" None
+    (Metrics.find_counter m "nope");
+  Alcotest.(check (float 0.)) "gauge" 6.
+    (Metrics.gauge_value (Metrics.gauge m "nodes"));
+  let h = Metrics.histogram m "latency" in
+  Histogram.record h 0.5;
+  let h' = Metrics.histogram m "latency" in
+  Alcotest.(check int) "histogram interned" 1 (Histogram.count h');
+  Alcotest.(check (list (pair string int))) "counters sorted by name"
+    [ ("errors", 1); ("requests", 5) ]
+    (Metrics.counters m);
+  Alcotest.(check bool) "json mentions the histogram" true
+    (contains ~needle:"latency" (Metrics.to_json m))
+
+(* ---------------- trace ring ---------------- *)
+
+let test_trace_ring () =
+  let t = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.emit t ~at:(float_of_int i) "tick" [ ("i", Trace.Int i) ]
+  done;
+  Alcotest.(check int) "ring keeps capacity" 3 (Trace.length t);
+  Alcotest.(check int) "dropped counts evictions" 2 (Trace.dropped t);
+  Alcotest.(check int) "total counts everything" 5 (Trace.total t);
+  Alcotest.(check (list (float 0.))) "oldest first, newest kept"
+    [ 3.; 4.; 5. ]
+    (List.map (fun (e : Trace.event) -> e.Trace.at) (Trace.events t));
+  let sp = Trace.span_start t ~at:10. "copy" [] in
+  Trace.span_end t ~at:12.5 sp [];
+  match Trace.find t "copy.end" with
+  | [ e ] ->
+      Alcotest.(check bool) "span end carries duration" true
+        (List.exists
+           (function
+             | "duration_s", Trace.Float d -> abs_float (d -. 2.5) < 1e-9
+             | _ -> false)
+           e.Trace.attrs)
+  | _ -> Alcotest.fail "expected exactly one span end event"
+
+(* ---------------- SLO report ---------------- *)
+
+let test_slo_gate () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 0.010; 0.020; 0.500 ];
+  let r =
+    Slo.of_histogram ~duration_s:60. ~offered:100 ~completed:97 ~shed:2
+      ~failed:1 ~wasted_work_s:0.3 ~retries:4 ~hedges:1 ~bytes_moved_mb:12.
+      ~migrations:1 ~faults_injected:3
+      ~utilization:[ (1, 0.5); (0, 0.25) ]
+      h
+  in
+  Alcotest.(check (float 1e-9)) "availability" 0.97 r.Slo.availability;
+  Alcotest.(check (float 1e-9)) "shed rate" 0.02 r.Slo.shed_rate;
+  Alcotest.(check (list (pair int (float 0.)))) "utilization sorted"
+    [ (0, 0.25); (1, 0.5) ]
+    r.Slo.utilization;
+  Alcotest.(check (list string)) "passing gate" []
+    (Slo.check (Slo.gate ~min_availability:0.9 ~max_shed_rate:0.05 ()) r);
+  Alcotest.(check int) "failing gate reports both" 2
+    (List.length
+       (Slo.check
+          (Slo.gate ~min_availability:0.99 ~max_p99_s:0.001 ())
+          r))
+
+(* ---------------- sink invisibility ---------------- *)
+
+(* A telemetry sink is strictly an observer: the defended simulation's
+   outcome record is structurally identical with and without one. *)
+let prop_sink_is_invisible =
+  QCheck.Test.make ~count:40 ~name:"telemetry sink never changes outcomes"
+    Gen.scenario_arbitrary
+    (fun (w, backends) ->
+      let n = List.length backends in
+      let alloc = Ksafety.allocate ~k:(min 1 (n - 1)) w backends in
+      let config = Simulator.homogeneous_config n in
+      let requests =
+        let rng = Rng.create 31 in
+        List.concat_map
+          (fun (c : Cdbs_core.Query_class.t) ->
+            List.init 6 (fun _ ->
+                Cdbs_cluster.Request.read
+                  ~arrival:(Rng.float rng 4.)
+                  ~cost_mb:30. c.Cdbs_core.Query_class.id))
+          (Cdbs_core.Workload.all_classes w)
+      in
+      let faults =
+        if n < 2 then []
+        else
+          [
+            Fault.crash ~at:1. 0;
+            Fault.recover ~at:2. 0;
+            Fault.slowdown ~at:2.5 ~backend:(n - 1) ~factor:3. ~duration:1.;
+          ]
+      in
+      let resilience =
+        Cdbs_resilience.Policy.make
+          ~admission:
+            (Cdbs_resilience.Admission.make ~max_depth:8 ~max_pending:1. ())
+          ~breaker:Cdbs_resilience.Breaker.default_config
+          ~hedge:Cdbs_resilience.Hedge.default
+          ~deadline:(Cdbs_resilience.Deadline.make ~budget:3.)
+          ()
+      in
+      let go telemetry =
+        Simulator.run_open_with_faults ~rng:(Rng.create 7) ~resilience
+          ?telemetry config alloc requests ~faults
+      in
+      let sink = Tel.Sink.create () in
+      go None = go (Some sink))
+
+(* ---------------- fig_day determinism ---------------- *)
+
+let test_day_deterministic () =
+  let params = { Fd.smoke with Fd.scale = 0.05 } in
+  let go () =
+    let r = Fd.run ~params () in
+    (r.Fd.report, r.Fd.windows, r.Fd.events)
+  in
+  let r1, w1, e1 = go () in
+  let r2, w2, e2 = go () in
+  Alcotest.(check bool) "same seed, same SLO report" true (r1 = r2);
+  Alcotest.(check bool) "same windows" true (w1 = w2);
+  Alcotest.(check int) "same event count" e1 e2;
+  Alcotest.(check bool) "nonempty day" true (e1 > 0 && r1.Slo.offered > 0)
+
+let suite =
+  [
+    Alcotest.test_case "heap: push/pop/peek basics" `Quick test_heap_basics;
+    Alcotest.test_case "heap: rank then FIFO tie-breaking" `Quick
+      test_heap_tie_breaking;
+    Alcotest.test_case "heap: drain_until is in-order and reentrant" `Quick
+      test_heap_drain_until;
+    Alcotest.test_case "histogram: counts, moments, clamping, underflow"
+      `Quick test_histogram_basics;
+    Alcotest.test_case "histogram: mismatched merge rejected" `Quick
+      test_histogram_merge_params;
+    Alcotest.test_case "metrics: interning, listing, json" `Quick
+      test_metrics_registry;
+    Alcotest.test_case "trace: ring eviction and spans" `Quick test_trace_ring;
+    Alcotest.test_case "slo report: derivation and gates" `Quick
+      test_slo_gate;
+    Alcotest.test_case "fig_day: bit-identical at equal seeds" `Quick
+      test_day_deterministic;
+    QCheck_alcotest.to_alcotest prop_heap_matches_sorted;
+    QCheck_alcotest.to_alcotest prop_histogram_quantile_close;
+    QCheck_alcotest.to_alcotest prop_histogram_merge_associative;
+    QCheck_alcotest.to_alcotest prop_sink_is_invisible;
+  ]
