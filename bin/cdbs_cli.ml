@@ -403,6 +403,22 @@ module Check_w = Cdbs_analysis.Check_workload
 module Check_a = Cdbs_analysis.Check_allocation
 module Check_m = Cdbs_analysis.Check_migration
 
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
 type check_result = { scenario : string; diagnostics : Diag.t list }
 
 (* The running example of the paper (Sec. 3, Fig. 2) — the configuration
@@ -588,7 +604,15 @@ let check_cmd =
              and $(b,unpin) corrupt the allocation; $(b,lost-replica) \
              corrupts the migration plan.")
   in
-  let run name granularity n loads algorithm seed k json inject =
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit non-zero on warnings too, not just errors — the CI lint \
+             gate.")
+  in
+  let run name granularity n loads algorithm seed k json strict inject =
     (* The verifier reports; it must not trip the in-algorithm assertions
        installed by the experiments harness before it can do so. *)
     Core.Invariants.disable ();
@@ -723,22 +747,6 @@ let check_cmd =
           exit 2
     in
     if json then begin
-      let json_string s =
-        let buf = Buffer.create (String.length s + 2) in
-        Buffer.add_char buf '"';
-        String.iter
-          (fun ch ->
-            match ch with
-            | '"' -> Buffer.add_string buf "\\\""
-            | '\\' -> Buffer.add_string buf "\\\\"
-            | '\n' -> Buffer.add_string buf "\\n"
-            | c when Char.code c < 0x20 ->
-                Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-            | c -> Buffer.add_char buf c)
-          s;
-        Buffer.add_char buf '"';
-        Buffer.contents buf
-      in
       let objects =
         List.map
           (fun r ->
@@ -760,12 +768,20 @@ let check_cmd =
         (fun acc r -> acc + List.length (Diag.errors r.diagnostics))
         0 results
     in
+    let total_warnings =
+      List.fold_left
+        (fun acc r -> acc + List.length (Diag.warnings r.diagnostics))
+        0 results
+    in
     if not json then
-      Fmt.pr "@.checked %d scenario%s: %d error%s@." (List.length results)
+      Fmt.pr "@.checked %d scenario%s: %d error%s, %d warning%s@."
+        (List.length results)
         (if List.length results = 1 then "" else "s")
         total_errors
-        (if total_errors = 1 then "" else "s");
-    if total_errors > 0 then exit 1
+        (if total_errors = 1 then "" else "s")
+        total_warnings
+        (if total_warnings = 1 then "" else "s");
+    if total_errors > 0 || (strict && total_warnings > 0) then exit 1
   in
   Cmd.v
     (Cmd.info "check"
@@ -775,7 +791,8 @@ let check_cmd =
           k-safety, expand-then-contract)")
     Term.(
       const run $ workload_arg $ granularity_arg $ backends_arg $ loads_arg
-      $ algorithm_arg $ seed_arg $ ksafety_arg $ json_arg $ inject_arg)
+      $ algorithm_arg $ seed_arg $ ksafety_arg $ json_arg $ strict_arg
+      $ inject_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                               *)
@@ -1151,7 +1168,16 @@ let day_cmd =
       & info [ "max-shed-rate" ] ~docv:"FRAC"
           ~doc:"Exit non-zero if the shed rate exceeds $(docv).")
   in
-  let run smoke seed scale window_minutes out json min_avail max_p99 max_shed =
+  let monitor_arg =
+    Arg.(
+      value & flag
+      & info [ "monitor" ]
+          ~doc:
+            "Attach the protocol monitor to the day's event stream and exit \
+             non-zero on any temporal-invariant violation.")
+  in
+  let run smoke seed scale window_minutes out json min_avail max_p99 max_shed
+      with_monitor =
     let base = if smoke then Fd.smoke else Fd.default in
     let params =
       {
@@ -1162,7 +1188,10 @@ let day_cmd =
           Option.value window_minutes ~default:base.Fd.window_minutes;
       }
     in
-    let r = Fd.run ~params () in
+    let monitor =
+      if with_monitor then Some (Cdbs_analysis.Monitor.create ()) else None
+    in
+    let r = Fd.run ~params ?monitor () in
     if json then print_endline (Fd.to_json r)
     else begin
       Fmt.pr
@@ -1187,7 +1216,22 @@ let day_cmd =
     if violations <> [] then begin
       List.iter (fun v -> Fmt.epr "day: %s@." v) violations;
       exit 1
-    end
+    end;
+    match monitor with
+    | None -> ()
+    | Some m ->
+        let module Mon = Cdbs_analysis.Monitor in
+        if not json then
+          Fmt.pr "monitor: %d events observed, %d violation%s@."
+            (Mon.events_seen m) (Mon.violations m)
+            (if Mon.violations m = 1 then "" else "s");
+        if not (Mon.clean m) then begin
+          Fmt.epr "%a" Diag.pp_report (Mon.report m);
+          Fmt.epr "day: protocol monitor found %d violation%s@."
+            (Mon.violations m)
+            (if Mon.violations m = 1 then "" else "s");
+          exit 1
+        end
   in
   Cmd.v
     (Cmd.info "day"
@@ -1197,7 +1241,243 @@ let day_cmd =
           with an SLO report and CI threshold gates")
     Term.(
       const run $ smoke_arg $ seed_arg $ scale_arg $ window_arg $ out_arg
-      $ json_arg $ min_avail_arg $ max_p99_arg $ max_shed_arg)
+      $ json_arg $ min_avail_arg $ max_p99_arg $ max_shed_arg $ monitor_arg)
+
+(* ------------------------------------------------------------------ *)
+(* verify-trace — the protocol sanitizer                                *)
+(* ------------------------------------------------------------------ *)
+
+let verify_trace_cmd =
+  let module Faults = Cdbs_faults in
+  let module Sim = Cdbs_cluster.Simulator in
+  let module Mon = Cdbs_analysis.Monitor in
+  let module Tel = Cdbs_telemetry in
+  let mtbf_arg =
+    Arg.(
+      value & opt float 120.
+      & info [ "mtbf" ] ~docv:"SECONDS"
+          ~doc:"Mean time between failures per backend.")
+  in
+  let mttr_arg =
+    Arg.(
+      value & opt float 25.
+      & info [ "mttr" ] ~docv:"SECONDS" ~doc:"Mean time to recovery.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 600.
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Run length (also the fault-injection horizon).")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 20.
+      & info [ "rate" ] ~docv:"REQ/S" ~doc:"Offered request rate.")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "k" ] ~docv:"K"
+          ~doc:"k-safety degree of the allocation under test.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float 1.
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"End-to-end deadline budget of the defense stack.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the diagnostics as machine-readable JSON.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit non-zero on warnings too, not just errors.")
+  in
+  let inject_conv =
+    Arg.enum
+      [
+        ("none", `None); ("breaker-hop", `Breaker_hop); ("rejoin", `Rejoin);
+        ("deadline", `Deadline); ("down-serve", `Down_serve);
+      ]
+  in
+  let inject_arg =
+    Arg.(
+      value & opt inject_conv `None
+      & info [ "inject" ] ~docv:"FAULT"
+          ~doc:
+            "Replay a short synthetic event sequence that breaks one \
+             temporal invariant after the real run — proves the monitor \
+             rejects it.  $(b,breaker-hop) takes an illegal breaker \
+             transition (TRC004), $(b,rejoin) serves a read before \
+             catch-up finished (TRC005), $(b,deadline) grows the deadline \
+             budget across retries (TRC007), $(b,down-serve) books work on \
+             a crashed backend (TRC003).")
+  in
+  let run n seed k mtbf mttr duration rate deadline json strict inject =
+    (* The sanitizer reports; like check, it must not trip the in-engine
+       assertions before it can do so. *)
+    Core.Invariants.disable ();
+    let policy = Cdbs_experiments.Fig_overload.defenses ~deadline_s:deadline in
+    let chaos_params =
+      {
+        Faults.Chaos.default with
+        Faults.Chaos.mtbf;
+        mttr;
+        horizon = duration;
+        max_concurrent_down = Some k;
+      }
+    in
+    let rng = Cdbs_util.Rng.create seed in
+    let faults = Faults.Chaos.generate ~rng ~num_backends:n chaos_params in
+    (* Static lints first: the defense bundle and the fault timeline. *)
+    let static_diags =
+      Cdbs_analysis.Check_policy.check policy
+      @ Cdbs_analysis.Check_faults.check_params ~k chaos_params
+      @ Cdbs_analysis.Check_faults.check_schedule ~k ~num_backends:n faults
+    in
+    let workload = Cdbs_workloads.Trace.workload_at ~hour:14. in
+    let alloc =
+      Core.Ksafety.allocate ~k workload (Core.Backend.homogeneous n)
+    in
+    let reqs =
+      List.map
+        (fun (r : Cdbs_cluster.Request.t) ->
+          { r with Cdbs_cluster.Request.arrival = Cdbs_util.Rng.float rng duration })
+        (Cdbs_workloads.Spec.requests ~rng
+           ~n:(int_of_float (rate *. duration))
+           (Cdbs_workloads.Trace.specs_at ~hour:14.))
+    in
+    (* The monitor subscribes to the full stream, so the ring capacity
+       only decides whether a TRC012 overflow warning appears; size it to
+       stay warning-clean at the default load. *)
+    let sink =
+      Tel.Sink.create
+        ~capacity:(max 4096 (8 * int_of_float (rate *. duration)))
+        ()
+    in
+    let monitor = Mon.create () in
+    ignore (Mon.attach monitor sink);
+    let config = Sim.homogeneous_config n in
+    let fo =
+      Sim.run_open_with_faults
+        ~rng:(Cdbs_util.Rng.create (seed + 1))
+        ~resilience:policy ~telemetry:sink config alloc reqs ~faults
+    in
+    (* Deliberate corruption: a synthetic mini-run of protocol events the
+       monitor must reject (its own run.start isolates it from the real
+       run's state). *)
+    let tr = sink.Tel.Sink.trace in
+    let ev at name attrs = Tel.Trace.emit tr ~at name attrs in
+    let injected =
+      match inject with
+      | `None -> None
+      | (`Breaker_hop | `Rejoin | `Deadline | `Down_serve) as f ->
+          ev 0. "run.start"
+            [ ("backends", Tel.Trace.Int n); ("offered", Tel.Trace.Int 0) ];
+          Some
+            (match f with
+            | `Breaker_hop ->
+                ev 1. "breaker.transition"
+                  [
+                    ("backend", Tel.Trace.Int 0);
+                    ("state", Tel.Trace.Str "half_open");
+                  ];
+                "closed -> half_open breaker hop"
+            | `Rejoin ->
+                ev 1. "backend.crash" [ ("backend", Tel.Trace.Int 0) ];
+                ev 2. "backend.recover"
+                  [
+                    ("backend", Tel.Trace.Int 0);
+                    ("replay_mb", Tel.Trace.Float 4.);
+                  ];
+                ev 3. "backend.serve"
+                  [
+                    ("backend", Tel.Trace.Int 0);
+                    ("kind", Tel.Trace.Str "read");
+                    ("start", Tel.Trace.Float 3.);
+                    ("finish", Tel.Trace.Float 3.1);
+                  ];
+                "read served before catch-up finished"
+            | `Deadline ->
+                ev 1. "request.retry"
+                  [
+                    ("uid", Tel.Trace.Int 7); ("attempt", Tel.Trace.Int 1);
+                    ("retry_at", Tel.Trace.Float 1.5);
+                    ("remaining_s", Tel.Trace.Float 0.8);
+                  ];
+                ev 2. "request.retry"
+                  [
+                    ("uid", Tel.Trace.Int 7); ("attempt", Tel.Trace.Int 2);
+                    ("retry_at", Tel.Trace.Float 2.5);
+                    ("remaining_s", Tel.Trace.Float 1.6);
+                  ];
+                "deadline budget grew across retries"
+            | `Down_serve ->
+                ev 1. "backend.crash" [ ("backend", Tel.Trace.Int 0) ];
+                ev 2. "backend.serve"
+                  [
+                    ("backend", Tel.Trace.Int 0);
+                    ("kind", Tel.Trace.Str "read");
+                    ("start", Tel.Trace.Float 2.);
+                    ("finish", Tel.Trace.Float 2.2);
+                  ];
+                "work booked on a crashed backend")
+    in
+    let diags = Diag.sort (static_diags @ Mon.report monitor) in
+    let errors = List.length (Diag.errors diags) in
+    let warnings = List.length (Diag.warnings diags) in
+    if json then
+      Printf.printf
+        "{\"seed\":%d,\"backends\":%d,\"k\":%d,\"mtbf\":%g,\"mttr\":%g,\
+         \"duration\":%g,\"rate\":%g,\"deadline_s\":%g,\
+         \"offered\":%d,\"completed\":%d,\"availability\":%.6f,\
+         \"events_seen\":%d,\"trace_dropped\":%d,\"injected\":%s,\
+         \"errors\":%d,\"warnings\":%d,\"diagnostics\":%s}\n"
+        seed n k mtbf mttr duration rate deadline fo.Sim.offered
+        fo.Sim.run.Sim.completed fo.Sim.availability
+        (Mon.events_seen monitor)
+        (Tel.Trace.dropped tr)
+        (match injected with
+        | Some what -> json_string what
+        | None -> "null")
+        errors warnings (Diag.list_to_json diags)
+    else begin
+      Fmt.pr
+        "verify-trace: %d backends, k=%d, seed %d, mtbf %.0fs, mttr %.0fs, \
+         %.0fs at %.0f req/s, deadline %.2fs@."
+        n k seed mtbf mttr duration rate deadline;
+      Fmt.pr
+        "run: offered %d, completed %d, availability %.4f; monitor observed \
+         %d events@."
+        fo.Sim.offered fo.Sim.run.Sim.completed fo.Sim.availability
+        (Mon.events_seen monitor);
+      (match injected with
+      | Some what -> Fmt.pr "injected fault: %s@." what
+      | None -> ());
+      Fmt.pr "%a" Diag.pp_report diags;
+      Fmt.pr "@.verified: %d error%s, %d warning%s@." errors
+        (if errors = 1 then "" else "s")
+        warnings
+        (if warnings = 1 then "" else "s")
+    end;
+    if errors > 0 || (strict && warnings > 0) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify-trace"
+       ~doc:
+         "Run a seeded chaos scenario with the full defense stack and the \
+          protocol monitor attached — temporal invariants over the \
+          simulation trace plus resilience/fault configuration lints, with \
+          non-zero exit on violations")
+    Term.(
+      const run $ backends_arg $ seed_arg $ k_arg $ mtbf_arg $ mttr_arg
+      $ duration_arg $ rate_arg $ deadline_arg $ json_arg $ strict_arg
+      $ inject_arg)
 
 (* ------------------------------------------------------------------ *)
 (* journalgen                                                          *)
@@ -1240,5 +1520,5 @@ let () =
           [
             classify_cmd; allocate_cmd; simulate_cmd; experiment_cmd;
             migrate_cmd; check_cmd; chaos_cmd; overload_cmd; day_cmd;
-            journalgen_cmd;
+            verify_trace_cmd; journalgen_cmd;
           ]))

@@ -1,0 +1,157 @@
+module Res = Cdbs_resilience
+
+let finite f = Float.is_finite f
+
+let check (p : Res.Policy.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let invalid code subject fmt =
+    Printf.ksprintf
+      (fun msg -> add (Diagnostic.error ~code ~subject "%s" msg))
+      fmt
+  in
+  (match p.Res.Policy.admission with
+  | None -> ()
+  | Some a ->
+      let subject = "admission" in
+      if a.Res.Admission.max_depth < 1 then
+        invalid "RES006" subject "max_depth %d < 1" a.Res.Admission.max_depth;
+      if (not (finite a.Res.Admission.max_pending))
+         || a.Res.Admission.max_pending <= 0.
+      then
+        invalid "RES006" subject "max_pending %g is not a positive duration"
+          a.Res.Admission.max_pending);
+  (match p.Res.Policy.breaker with
+  | None -> ()
+  | Some b ->
+      let subject = "breaker" in
+      if (not (finite b.Res.Breaker.ewma_alpha))
+         || b.Res.Breaker.ewma_alpha <= 0.
+         || b.Res.Breaker.ewma_alpha > 1.
+      then
+        invalid "RES007" subject "ewma_alpha %g outside (0, 1]"
+          b.Res.Breaker.ewma_alpha;
+      if (not (finite b.Res.Breaker.latency_factor))
+         || b.Res.Breaker.latency_factor < 1.
+      then
+        invalid "RES007" subject
+          "latency_factor %g < 1 (would trip on peer-median latency)"
+          b.Res.Breaker.latency_factor;
+      if b.Res.Breaker.min_samples < 1 then
+        invalid "RES007" subject "min_samples %d < 1" b.Res.Breaker.min_samples;
+      if b.Res.Breaker.error_window < 1 then
+        invalid "RES007" subject "error_window %d < 1"
+          b.Res.Breaker.error_window;
+      if (not (finite b.Res.Breaker.error_threshold))
+         || b.Res.Breaker.error_threshold <= 0.
+         || b.Res.Breaker.error_threshold > 1.
+      then
+        invalid "RES007" subject "error_threshold %g outside (0, 1]"
+          b.Res.Breaker.error_threshold;
+      if (not (finite b.Res.Breaker.cool_down)) || b.Res.Breaker.cool_down <= 0.
+      then invalid "RES007" subject "cool_down %g <= 0" b.Res.Breaker.cool_down;
+      if b.Res.Breaker.probes < 1 then
+        invalid "RES007" subject "probes %d < 1" b.Res.Breaker.probes;
+      (* Threshold finer than the window resolution: with a full window of
+         [w] samples, a single failure already yields an error rate of
+         [1/w] >= threshold — any hiccup trips the breaker. *)
+      if
+        b.Res.Breaker.error_window >= 1
+        && b.Res.Breaker.error_threshold > 0.
+        && b.Res.Breaker.error_threshold
+           *. float_of_int b.Res.Breaker.error_window
+           < 1.
+      then
+        add
+          (Diagnostic.warning ~code:"RES003" ~subject:"breaker"
+             ~data:
+               [
+                 ("error_threshold", Diagnostic.Num b.Res.Breaker.error_threshold);
+                 ("error_window", Diagnostic.Int b.Res.Breaker.error_window);
+               ]
+             "error threshold %g is finer than the %d-sample window \
+              resolves: one failure trips the breaker"
+             b.Res.Breaker.error_threshold b.Res.Breaker.error_window));
+  (match p.Res.Policy.hedge with
+  | None -> ()
+  | Some h ->
+      let subject = "hedge" in
+      if (not (finite h.Res.Hedge.percentile))
+         || h.Res.Hedge.percentile <= 0.
+         || h.Res.Hedge.percentile > 100.
+      then
+        invalid "RES008" subject "percentile %g outside (0, 100]"
+          h.Res.Hedge.percentile;
+      if (not (finite h.Res.Hedge.min_delay)) || h.Res.Hedge.min_delay <= 0.
+      then invalid "RES008" subject "min_delay %g <= 0" h.Res.Hedge.min_delay;
+      if h.Res.Hedge.min_observations < 1 then
+        invalid "RES008" subject "min_observations %d < 1"
+          h.Res.Hedge.min_observations;
+      if h.Res.Hedge.window < h.Res.Hedge.min_observations then
+        invalid "RES008" subject "window %d < min_observations %d"
+          h.Res.Hedge.window h.Res.Hedge.min_observations;
+      if
+        h.Res.Hedge.percentile > 0.
+        && h.Res.Hedge.percentile <= 100.
+        && h.Res.Hedge.percentile < 50.
+      then
+        add
+          (Diagnostic.warning ~code:"RES004" ~subject:"hedge"
+             ~data:[ ("percentile", Diagnostic.Num h.Res.Hedge.percentile) ]
+             "hedge delay at the p%g latency hedges the majority of reads \
+              (expected a tail percentile, e.g. p95)"
+             h.Res.Hedge.percentile));
+  (match p.Res.Policy.deadline with
+  | None -> ()
+  | Some d ->
+      if (not (finite d.Res.Deadline.budget)) || d.Res.Deadline.budget <= 0.
+      then
+        invalid "RES009" "deadline" "budget %g is not a positive duration"
+          d.Res.Deadline.budget);
+  (* Cross-defense lints: each only meaningful when both sides are on and
+     individually valid. *)
+  (match (p.Res.Policy.hedge, p.Res.Policy.deadline) with
+  | Some h, Some d
+    when h.Res.Hedge.min_delay > 0.
+         && d.Res.Deadline.budget > 0.
+         && h.Res.Hedge.min_delay >= d.Res.Deadline.budget ->
+      add
+        (Diagnostic.warning ~code:"RES001" ~subject:"hedge"
+           ~data:
+             [
+               ("min_delay", Diagnostic.Num h.Res.Hedge.min_delay);
+               ("budget", Diagnostic.Num d.Res.Deadline.budget);
+             ]
+           "hedge delay floor %g s meets or exceeds the deadline budget \
+            %g s: no hedge can ever fire in time"
+           h.Res.Hedge.min_delay d.Res.Deadline.budget)
+  | _ -> ());
+  (match (p.Res.Policy.admission, p.Res.Policy.deadline) with
+  | Some a, Some d
+    when a.Res.Admission.max_pending > 0.
+         && d.Res.Deadline.budget > 0.
+         && a.Res.Admission.max_pending >= d.Res.Deadline.budget ->
+      add
+        (Diagnostic.warning ~code:"RES002" ~subject:"admission"
+           ~data:
+             [
+               ("max_pending", Diagnostic.Num a.Res.Admission.max_pending);
+               ("budget", Diagnostic.Num d.Res.Deadline.budget);
+             ]
+           "pending watermark %g s meets or exceeds the deadline budget \
+            %g s: admitted work can already be past its client's deadline"
+           a.Res.Admission.max_pending d.Res.Deadline.budget)
+  | _ -> ());
+  (match p with
+  | {
+   Res.Policy.admission = None;
+   breaker = None;
+   hedge = None;
+   deadline = None;
+  } ->
+      add
+        (Diagnostic.info ~code:"RES005" ~subject:"policy"
+           "every defense is disabled (legacy behaviour; overload is \
+            unmitigated)")
+  | _ -> ());
+  Diagnostic.sort !diags

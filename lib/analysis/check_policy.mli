@@ -1,0 +1,25 @@
+(** Resilience-policy sanity lints ([RES*] namespace).
+
+    The {!Cdbs_resilience} record types are public, so a policy bundle can
+    be assembled with parameters the [make] smart constructors would have
+    rejected — or with parameters that are individually valid but jointly
+    useless (a hedge delay floor past the deadline budget can never fire;
+    an error threshold finer than the sample window trips on any single
+    failure).  This checker re-validates every parameter and cross-checks
+    the defenses against each other:
+
+    - [RES001] hedge delay floor at or past the deadline budget
+    - [RES002] admission pending watermark at or past the deadline budget
+      (admits work whose client is gone)
+    - [RES003] breaker error threshold finer than its sample window (one
+      failure in a full window trips)
+    - [RES004] hedge percentile below the median (hedges most reads)
+    - [RES005] (info) every defense disabled
+    - [RES006] invalid admission parameters
+    - [RES007] invalid breaker parameters
+    - [RES008] invalid hedge parameters
+    - [RES009] invalid deadline parameters *)
+
+val check : Cdbs_resilience.Policy.t -> Diagnostic.t list
+(** Diagnostics in {!Diagnostic.sort} order; empty means the bundle is
+    sane.  Disabled defenses are skipped (except [RES005]). *)

@@ -9,7 +9,9 @@
     allowlist or gate on them; messages are not.
 
     Code namespaces: [ALC*] allocation, [WKL*] workload, [MIG*] migration
-    plan, [SCH*] copy schedule, [DLT*] delta journal. *)
+    plan, [SCH*] copy schedule, [DLT*] delta journal, [TRC*] trace
+    protocol (runtime verification, {!Monitor}), [RES*] resilience
+    policy ({!Check_policy}), [FLT*] fault timeline ({!Check_faults}). *)
 
 type severity = Error | Warning | Info
 

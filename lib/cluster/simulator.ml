@@ -188,14 +188,29 @@ type mig_event =
   | Cutover of Schedule.timed_move
   | Drop_all
 
-let run_open_with_migration ?(copy_slowdown = 0.25) config ~target ~schedule
-    requests =
+let run_open_with_migration ?(copy_slowdown = 0.25) ?telemetry ?monitor config
+    ~target ~schedule requests =
   let plan = schedule.Schedule.plan in
   let n = plan.Planner.num_physical in
   if Array.length config.speeds <> n then
     invalid_arg
       "Simulator.run_open_with_migration: speeds length <> physical nodes";
+  let telemetry =
+    match (telemetry, monitor) with
+    | None, Some _ -> Some (Tel.Sink.create ~capacity:64 ())
+    | _ -> telemetry
+  in
+  let monitor_owns_attach =
+    match (monitor, telemetry) with
+    | Some m, Some sink -> Cdbs_analysis.Monitor.attach m sink
+    | _ -> false
+  in
   let requests = sorted_by_arrival requests in
+  Tel.Sink.ev telemetry ~at:0. "run.start"
+    [
+      ("backends", Tel.Trace.Int n);
+      ("offered", Tel.Trace.Int (List.length requests));
+    ];
   let sched = Scheduler.create_dynamic target ~live:plan.Planner.old_sets in
   let delta : unit Delta.t = Delta.create () in
   let busy = Array.make n 0. in
@@ -207,10 +222,33 @@ let run_open_with_migration ?(copy_slowdown = 0.25) config ~target ~schedule
   let mins =
     List.map (fun c -> (c, ref (Scheduler.live_replicas sched c))) classes
   in
-  let observe_mins () =
+  (* Expand-then-contract promises each class never drops below the
+     smaller of its old and target replica counts; announce the floor so
+     the protocol monitor can hold the run to it. *)
+  let target_replicas (c : Query_class.t) =
+    Array.fold_left
+      (fun acc set ->
+        if Fragment.Set.subset c.Query_class.fragments set then acc + 1
+        else acc)
+      0 plan.Planner.target_sets
+  in
+  List.iter
+    (fun ((c : Query_class.t), m) ->
+      Tel.Sink.ev telemetry ~at:0. "migration.floor"
+        [
+          ("class", Tel.Trace.Str c.Query_class.id);
+          ("floor", Tel.Trace.Int (min !m (target_replicas c)));
+        ])
+    mins;
+  let observe_mins ~at () =
     List.iter
-      (fun (c, m) ->
+      (fun ((c : Query_class.t), m) ->
         let r = Scheduler.live_replicas sched c in
+        Tel.Sink.ev telemetry ~at "migration.live"
+          [
+            ("class", Tel.Trace.Str c.Query_class.id);
+            ("replicas", Tel.Trace.Int r);
+          ];
         if r < !m then m := r)
       mins
   in
@@ -262,9 +300,9 @@ let run_open_with_migration ?(copy_slowdown = 0.25) config ~target ~schedule
           plan.Planner.drops
   in
   let apply_events now =
-    Heap.drain_until events ~time:now ~f:(fun _at e ->
+    Heap.drain_until events ~time:now ~f:(fun at e ->
         apply_event e;
-        observe_mins ())
+        observe_mins ~at ())
   in
   List.iter
     (fun (r : Request.t) ->
@@ -359,6 +397,15 @@ let run_open_with_migration ?(copy_slowdown = 0.25) config ~target ~schedule
     !ok
   in
   let p50, p95, p99 = percentiles_of (List.map snd !responses) in
+  (match (monitor, telemetry) with
+  | Some m, Some sink when monitor_owns_attach ->
+      Cdbs_analysis.Monitor.detach m sink
+  | _ -> ());
+  (match monitor with
+  | Some m when Cdbs_core.Invariants.active () ->
+      Cdbs_analysis.Monitor.check_exn
+        ~context:"Simulator.run_open_with_migration" m
+  | _ -> ());
   {
     run =
       {
@@ -475,15 +522,30 @@ type sim_event =
 module Resilience = Cdbs_resilience
 
 let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
-    config alloc requests ~faults =
+    ?monitor config alloc requests ~faults =
   let n = Allocation.num_backends alloc in
   if Array.length config.speeds <> n then
     invalid_arg "Simulator.run_open_with_faults: speeds length <> backends";
   (match Fault.validate ~num_backends:n faults with
   | Ok () -> ()
   | Error e -> invalid_arg ("Simulator.run_open_with_faults: " ^ e));
+  (* A monitor needs an event stream even when the caller brought no sink
+     of its own: give it a small private ring (only the subscription
+     matters; nobody reads the ring). *)
+  let telemetry =
+    match (telemetry, monitor) with
+    | None, Some _ -> Some (Tel.Sink.create ~capacity:64 ())
+    | _ -> telemetry
+  in
+  let monitor_owns_attach =
+    match (monitor, telemetry) with
+    | Some m, Some sink -> Cdbs_analysis.Monitor.attach m sink
+    | _ -> false
+  in
   let requests = sorted_by_arrival requests in
   let offered = List.length requests in
+  Tel.Sink.ev telemetry ~at:0. "run.start"
+    [ ("backends", Tel.Trace.Int n); ("offered", Tel.Trace.Int offered) ];
   let sched = Scheduler.create alloc in
   let delta : unit Delta.t = Delta.create () in
   let busy = Array.make n 0. in
@@ -525,16 +587,10 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
     | Some _ ->
         Some
           (fun ~backend (st : Resilience.Breaker.state) ->
-            let state =
-              match st with
-              | Resilience.Breaker.Closed -> "closed"
-              | Resilience.Breaker.Open -> "open"
-              | Resilience.Breaker.Half_open -> "half_open"
-            in
             Tel.Sink.ev telemetry ~at:!now_ref "breaker.transition"
               [
                 ("backend", Tel.Trace.Int backend);
-                ("state", Tel.Trace.Str state);
+                ("state", Tel.Trace.Str (Resilience.Breaker.state_label st));
               ])
   in
   let breaker =
@@ -596,6 +652,20 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
     let start = max now (Scheduler.free_at sched ~backend:b) in
     (start, start +. service, service)
   in
+  let kind_label = function
+    | Bk_read _ -> "read"
+    | Bk_update -> "update"
+    | Bk_catchup -> "catchup"
+  in
+  let serve_event ~at ~kind b ~start ~finish =
+    Tel.Sink.ev telemetry ~at "backend.serve"
+      [
+        ("backend", Tel.Trace.Int b);
+        ("kind", Tel.Trace.Str (kind_label kind));
+        ("start", Tel.Trace.Float start);
+        ("finish", Tel.Trace.Float finish);
+      ]
+  in
   let commit ~mb ~kind b (start, finish, service) =
     Scheduler.book sched ~backend:b ~finish;
     busy.(b) <- busy.(b) +. service;
@@ -603,6 +673,7 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
       { bk_start = start; bk_finish = finish; bk_service = service;
         bk_mb = mb; bk_kind = kind }
       :: inflight.(b);
+    serve_event ~at:!now_ref ~kind b ~start ~finish;
     finish
   in
   let serve ~now ~mb ~replicas ~is_update ~kind b ~factor =
@@ -681,9 +752,15 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
       else begin
         incr retries;
         Tel.Sink.ev telemetry ~at:now "request.retry"
-          [ ("uid", Tel.Trace.Int rc.rc_uid);
-            ("attempt", Tel.Trace.Int attempt);
-            ("retry_at", Tel.Trace.Float at) ];
+          ([ ("uid", Tel.Trace.Int rc.rc_uid);
+             ("attempt", Tel.Trace.Int attempt);
+             ("retry_at", Tel.Trace.Float at) ]
+          @
+          (* The budget left when the retry fires — the monitor checks it
+             decreases monotonically along the chain. *)
+          if deadline_on then
+            [ ("remaining_s", Tel.Trace.Float (rc.rc_deadline -. at)) ]
+          else []);
         Hashtbl.replace retried rc.rc_uid ();
         insert_dyn (Retry_at (at, { rc with rc_attempt = attempt }))
       end
@@ -889,6 +966,7 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
           { bk_start = start; bk_finish = finish; bk_service = replay;
             bk_mb = !missed; bk_kind = Bk_catchup }
           :: inflight.(b);
+        serve_event ~at:now ~kind:Bk_catchup b ~start ~finish;
         let r =
           { rec_backend = b; crashed_at; recovered_at = now;
             caught_up_at = nan; replayed_mb = !missed }
@@ -1086,6 +1164,28 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
       cn "sim.shed" !shed;
       cn "sim.hedged" !hedged;
       cn "sim.hedge_wins" !hedge_wins);
+  Tel.Sink.ev telemetry ~at:makespan "run.summary"
+    [
+      ("offered", Tel.Trace.Int offered);
+      ("completed", Tel.Trace.Int completed);
+      ("aborted", Tel.Trace.Int !aborted);
+      ("shed", Tel.Trace.Int !shed);
+      ("timeouts", Tel.Trace.Int !timeouts);
+      ("retries", Tel.Trace.Int !retries);
+      ("hedged", Tel.Trace.Int !hedged);
+      ("hedge_wins", Tel.Trace.Int !hedge_wins);
+      ("offered_updates", Tel.Trace.Int !offered_updates);
+      ("completed_updates", Tel.Trace.Int !completed_updates);
+    ];
+  (match (monitor, telemetry) with
+  | Some m, Some sink when monitor_owns_attach ->
+      Cdbs_analysis.Monitor.detach m sink
+  | _ -> ());
+  (match monitor with
+  | Some m when Cdbs_core.Invariants.active () ->
+      Cdbs_analysis.Monitor.check_exn
+        ~context:"Simulator.run_open_with_faults" m
+  | _ -> ());
   {
     run =
       {

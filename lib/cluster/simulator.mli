@@ -109,6 +109,7 @@ val run_open_with_faults :
   ?rng:Cdbs_util.Rng.t ->
   ?resilience:Cdbs_resilience.Policy.t ->
   ?telemetry:Cdbs_telemetry.Sink.t ->
+  ?monitor:Cdbs_analysis.Monitor.t ->
   config ->
   Cdbs_core.Allocation.t ->
   Request.t list ->
@@ -140,6 +141,20 @@ val run_open_with_faults :
     as trace events stamped with the simulated clock.  Telemetry is
     strictly an observer — with or without a sink the outcome is
     bit-identical.
+
+    [monitor] attaches a {!Cdbs_analysis.Monitor} for the duration of the
+    run: a ["run.start"] event resets its per-run protocol state, every
+    booking is announced as ["backend.serve"], retries carry the
+    remaining deadline budget, and a ["run.summary"] event closes the run
+    with the conservation counters.  When no [telemetry] sink is given
+    the monitor gets a small private one (the subscription sees every
+    event regardless of ring capacity).  A monitor the caller already
+    attached to [telemetry] is not re-attached (and not detached at the
+    end).  Under active debug invariants ({!Cdbs_core.Invariants}) the
+    run {e fails loudly}: any error-severity violation raises [Failure]
+    with the rendered report; otherwise violations accumulate for the
+    caller to {!Cdbs_analysis.Monitor.report}.  Like telemetry, the
+    monitor never changes outcomes.
 
     [resilience] wires the overload/gray-failure defenses into the run
     (all off by default, reproducing the legacy engine exactly):
@@ -197,6 +212,8 @@ type migration_outcome = {
 
 val run_open_with_migration :
   ?copy_slowdown:float ->
+  ?telemetry:Cdbs_telemetry.Sink.t ->
+  ?monitor:Cdbs_analysis.Monitor.t ->
   config ->
   target:Cdbs_core.Allocation.t ->
   schedule:Cdbs_migration.Schedule.t ->
@@ -210,4 +227,11 @@ val run_open_with_migration :
     service on a node actively copying (as source or destination) is
     inflated by [copy_slowdown] (default 0.25).  [config.speeds] must cover
     the plan's [num_physical] nodes.  Requests must reference classes of
-    the [target] allocation's workload. *)
+    the [target] allocation's workload.
+
+    [telemetry]/[monitor] mirror {!run_open_with_faults}: the run opens
+    with ["run.start"], announces each class's expand-then-contract
+    replica floor as ["migration.floor"], emits ["migration.live"] after
+    every migration event so the monitor can audit that live replicas
+    never drop below the floor, and fails loudly under active debug
+    invariants. *)

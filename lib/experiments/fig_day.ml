@@ -90,7 +90,7 @@ let p99_ms_of responses =
   List.iter (fun (_, r) -> Tel.Histogram.record h r) responses;
   1000. *. Tel.Histogram.percentile h 99.
 
-let run ?(params = default) () =
+let run ?(params = default) ?monitor () =
   let p = params in
   if p.nodes_min < 1 || p.nodes_max < p.nodes_min then
     invalid_arg "Fig_day.run: bad node bounds";
@@ -99,6 +99,12 @@ let run ?(params = default) () =
   let t_begin = Sys.time () in
   let rng = Rng.create p.seed in
   let sink = Tel.Sink.create ~capacity:p.trace_capacity () in
+  (* Attached up front, so the monitor sees every window's stream plus
+     the migration events emitted at this level; it stays attached after
+     the run so the caller can report ring-overflow findings. *)
+  (match monitor with
+  | Some m -> ignore (Cdbs_analysis.Monitor.attach m sink)
+  | None -> ());
   let telemetry = Some sink in
   let resilience = defenses ~deadline_s:p.deadline_s in
   let day_s = 24. *. 3600. in
@@ -216,7 +222,7 @@ let run ?(params = default) () =
     let rrng = Rng.split rng in
     let fo =
       Simulator.run_open_with_faults ~rng:rrng ~resilience ~telemetry:sink
-        config !alloc requests ~faults
+        ?monitor config !alloc requests ~faults
     in
     offered := !offered + fo.Simulator.offered;
     completed := !completed + fo.Simulator.run.Simulator.completed;
@@ -254,6 +260,7 @@ let run ?(params = default) () =
       ~completed:!completed ~shed:!shed ~failed:!failed ~wasted_work_s:!wasted
       ~retries:!retries ~hedges:!hedges ~bytes_moved_mb:!bytes_moved
       ~migrations:!migrations ~faults_injected:!faults_n
+      ~trace_dropped:(Tel.Trace.dropped sink.Tel.Sink.trace)
       ~utilization:
         (List.init p.nodes_max (fun b -> (b, busy_acc.(b) /. day_s)))
       day_hist

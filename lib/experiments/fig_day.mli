@@ -71,7 +71,13 @@ type result = {
   sink : Cdbs_telemetry.Sink.t;  (** the day's metrics and trace *)
 }
 
-val run : ?params:params -> unit -> result
+val run :
+  ?params:params -> ?monitor:Cdbs_analysis.Monitor.t -> unit -> result
+(** [monitor] watches the day's whole event stream (it is attached to the
+    result's sink before the first window and left attached, so
+    {!Cdbs_analysis.Monitor.report} includes ring-overflow findings);
+    under active debug invariants any protocol violation fails the run
+    loudly at the offending window's end. *)
 
 val to_json : result -> string
 (** The BENCH_day.json payload: parameters, SLO report, wall clock and

@@ -73,7 +73,7 @@ let p99_ms responses =
    degrades.  With crashes <= k the allocation absorbs every crash:
    availability stays 1.0 and only retried requests pay extra latency. *)
 let degradation ?(nodes = 4) ?(rate_per_s = 30.) ?(duration = 300.)
-    ?(max_crashes = 3) ?(seed = 11) () =
+    ?(max_crashes = 3) ?(seed = 11) ?monitor () =
   let workload = Trace.workload_at ~hour:14. in
   let config = Simulator.homogeneous_config nodes in
   List.concat_map
@@ -88,7 +88,7 @@ let degradation ?(nodes = 4) ?(rate_per_s = 30.) ?(duration = 300.)
             List.init crashes (fun b -> Fault.crash ~at:(duration /. 4.) b)
           in
           let fo =
-            Simulator.run_open_with_faults config alloc
+            Simulator.run_open_with_faults ?monitor config alloc
               (requests ~seed ~rate_per_s ~duration)
               ~faults
           in
@@ -111,7 +111,7 @@ let degradation ?(nodes = 4) ?(rate_per_s = 30.) ?(duration = 300.)
    rejoined backend catches up through the delta journal before taking
    reads again. *)
 let scenario ?(nodes = 4) ?(rate_per_s = 30.) ?(duration = 300.)
-    ?(buckets = 20) ?(seed = 11) ?(repair_bandwidth = 2.) () =
+    ?(buckets = 20) ?(seed = 11) ?(repair_bandwidth = 2.) ?monitor () =
   let workload = Trace.workload_at ~hour:14. in
   let alloc =
     checked_alloc ~context:"Fig_faults.scenario" ~k:1
@@ -136,7 +136,7 @@ let scenario ?(nodes = 4) ?(rate_per_s = 30.) ?(duration = 300.)
     [ Fault.crash ~at:crash_at victim; Fault.recover ~at:recover_at victim ]
   in
   let fo =
-    Simulator.run_open_with_faults config alloc
+    Simulator.run_open_with_faults ?monitor config alloc
       (requests ~seed ~rate_per_s ~duration)
       ~faults
   in

@@ -55,10 +55,12 @@ val degradation :
   ?duration:float ->
   ?max_crashes:int ->
   ?seed:int ->
+  ?monitor:Cdbs_analysis.Monitor.t ->
   unit ->
   row list
 (** The degradation grid.  Defaults: 4 nodes, 30 requests/s over 300 s,
-    crashes at t = 75 s, k in 0..2, crashes in 0..3. *)
+    crashes at t = 75 s, k in 0..2, crashes in 0..3.  [monitor] observes
+    every cell's run ({!Cdbs_cluster.Simulator.run_open_with_faults}). *)
 
 val scenario :
   ?nodes:int ->
@@ -67,6 +69,7 @@ val scenario :
   ?buckets:int ->
   ?seed:int ->
   ?repair_bandwidth:float ->
+  ?monitor:Cdbs_analysis.Monitor.t ->
   unit ->
   report
 (** The k=1 lifecycle: the most critical backend crashes at [duration/3],

@@ -70,13 +70,15 @@ val compare_at :
   ?slow_factor:float ->
   ?deadline_s:float ->
   ?slow_backend:int ->
+  ?monitor:Cdbs_analysis.Monitor.t ->
   rate_per_s:float ->
   unit ->
   int * comparison
 (** One undefended/defended pair at the given offered rate.  Returns the
     slowed backend (by default the busiest backend of a clean probe run —
     the victim that hurts most) and the comparison.  Deterministic per
-    seed. *)
+    seed.  [monitor] observes both arms (the clean probe run is not
+    monitored — it uses the plain {!Cdbs_cluster.Simulator.run_open}). *)
 
 val sweep :
   ?nodes:int ->
@@ -85,6 +87,7 @@ val sweep :
   ?slow_factor:float ->
   ?deadline_s:float ->
   ?rates:float list ->
+  ?monitor:Cdbs_analysis.Monitor.t ->
   unit ->
   report
 (** {!compare_at} across offered rates (default 60/120/240/360 req/s). *)

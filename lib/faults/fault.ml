@@ -30,7 +30,11 @@ let validate ~num_backends schedule =
     | [] -> Ok ()
     | { at; event } :: rest -> (
         let b = backend event in
-        if b < 0 || b >= num_backends then
+        if not (at >= 0.) then
+          Error
+            (Printf.sprintf
+               "event on backend %d at %g: times must be non-negative" b at)
+        else if b < 0 || b >= num_backends then
           Error (Printf.sprintf "event at %g targets backend %d of %d" at b
                    num_backends)
         else

@@ -47,7 +47,8 @@ val of_failures : (float * int) list -> schedule
     compatibility shape). *)
 
 val validate : num_backends:int -> schedule -> (unit, string) result
-(** Structural checks: backend indices in range, slowdown parameters sane,
+(** Structural checks: event times non-negative (and not NaN), backend
+    indices in range, slowdown parameters sane,
     per-backend crash/recover alternation (no crash of a crashed backend,
     no recover of a running one), and no overlapping [Slowdown] windows on
     the same backend (the simulator's slow-state is a single

@@ -1,5 +1,10 @@
 type state = Closed | Open | Half_open
 
+let state_label = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
+
 type config = {
   ewma_alpha : float;
   latency_factor : float;

@@ -29,6 +29,10 @@
 
 type state = Closed | Open | Half_open
 
+val state_label : state -> string
+(** ["closed"], ["open"] or ["half_open"] — the stable wire names used in
+    trace events and verified by the protocol monitor. *)
+
 type config = {
   ewma_alpha : float;  (** smoothing factor in (0, 1] for the latency EWMA *)
   latency_factor : float;

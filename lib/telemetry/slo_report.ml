@@ -16,6 +16,7 @@ type t = {
   bytes_moved_mb : float;
   migrations : int;
   faults_injected : int;
+  trace_dropped : int;
   utilization : (int * float) list;
 }
 
@@ -23,8 +24,8 @@ let availability_of ~offered ~completed =
   if offered <= 0 then 1. else float_of_int completed /. float_of_int offered
 
 let of_histogram ~duration_s ~offered ~completed ~shed ~failed ~wasted_work_s
-    ~retries ~hedges ~bytes_moved_mb ~migrations ~faults_injected ~utilization
-    histo =
+    ~retries ~hedges ~bytes_moved_mb ~migrations ~faults_injected
+    ?(trace_dropped = 0) ~utilization histo =
   {
     duration_s;
     offered;
@@ -44,6 +45,7 @@ let of_histogram ~duration_s ~offered ~completed ~shed ~failed ~wasted_work_s
     bytes_moved_mb;
     migrations;
     faults_injected;
+    trace_dropped;
     utilization = List.sort (fun (a, _) (b, _) -> Int.compare a b) utilization;
   }
 
@@ -64,6 +66,8 @@ let pp ppf r =
   Fmt.pf ppf "migrations        %10d  (%.1f MB moved)@\n" r.migrations
     r.bytes_moved_mb;
   Fmt.pf ppf "faults injected   %10d@\n" r.faults_injected;
+  if r.trace_dropped > 0 then
+    Fmt.pf ppf "trace dropped     %10d  (ring overflow)@\n" r.trace_dropped;
   Fmt.pf ppf "utilization       %s"
     (String.concat " "
        (List.map
@@ -83,11 +87,11 @@ let to_json r =
      \"p99_ms\":%.3f,\"mean_ms\":%.3f,\"shed_rate\":%.6f,\
      \"wasted_work_s\":%.1f,\"retries\":%d,\"hedges\":%d,\
      \"bytes_moved_mb\":%.1f,\"migrations\":%d,\"faults_injected\":%d,\
-     \"utilization\":{%s}}"
+     \"trace_dropped\":%d,\"utilization\":{%s}}"
     r.duration_s r.offered r.completed r.shed r.failed r.availability
     (1000. *. r.p50_s) (1000. *. r.p95_s) (1000. *. r.p99_s)
     (1000. *. r.mean_s) r.shed_rate r.wasted_work_s r.retries r.hedges
-    r.bytes_moved_mb r.migrations r.faults_injected util
+    r.bytes_moved_mb r.migrations r.faults_injected r.trace_dropped util
 
 type gate = {
   min_availability : float option;

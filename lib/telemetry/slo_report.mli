@@ -25,6 +25,9 @@ type t = {
   bytes_moved_mb : float;    (** migration copy traffic *)
   migrations : int;          (** migration plans executed *)
   faults_injected : int;
+  trace_dropped : int;
+      (** trace-ring events evicted by overflow during the run — nonzero
+          means the retained trace is a suffix, not the whole story *)
   utilization : (int * float) list;
       (** per-backend busy fraction, sorted by backend id *)
 }
@@ -44,11 +47,13 @@ val of_histogram :
   bytes_moved_mb:float ->
   migrations:int ->
   faults_injected:int ->
+  ?trace_dropped:int ->
   utilization:(int * float) list ->
   Histogram.t ->
   t
 (** Build a report, deriving availability, shed rate and the latency
-    fields (p50/p95/p99/mean) from the histogram. *)
+    fields (p50/p95/p99/mean) from the histogram.  [trace_dropped]
+    (default 0) surfaces {!Trace.dropped} of the run's sink. *)
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable rendering. *)

@@ -2,18 +2,38 @@ type value = Int of int | Float of float | Str of string | Bool of bool
 
 type event = { at : float; name : string; attrs : (string * value) list }
 
+type subscription = int
+
 type t = {
   ring : event option array;
   mutable head : int;  (* next write position *)
   mutable len : int;
   mutable dropped : int;
+  mutable subs : (subscription * (event -> unit)) list;
+  mutable next_sub : subscription;
 }
 
 let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity <= 0";
-  { ring = Array.make capacity None; head = 0; len = 0; dropped = 0 }
+  {
+    ring = Array.make capacity None;
+    head = 0;
+    len = 0;
+    dropped = 0;
+    subs = [];
+    next_sub = 0;
+  }
 
 let capacity t = Array.length t.ring
+
+let subscribe t f =
+  let id = t.next_sub in
+  t.next_sub <- id + 1;
+  t.subs <- t.subs @ [ (id, f) ];
+  id
+
+let unsubscribe t id = t.subs <- List.filter (fun (i, _) -> i <> id) t.subs
+let subscribers t = List.length t.subs
 
 let emit t ~at name attrs =
   let e = { at; name; attrs } in
@@ -21,7 +41,10 @@ let emit t ~at name attrs =
   (if t.len = cap then t.dropped <- t.dropped + 1
    else t.len <- t.len + 1);
   t.ring.(t.head) <- Some e;
-  t.head <- (t.head + 1) mod cap
+  t.head <- (t.head + 1) mod cap;
+  match t.subs with
+  | [] -> ()
+  | subs -> List.iter (fun (_, f) -> f e) subs
 
 let length t = t.len
 let dropped t = t.dropped

@@ -6,7 +6,11 @@
     retries, hedges, migration copy/cutover, breaker transitions, shed
     and refusal decisions.  When the ring fills, the oldest events are
     dropped (and counted) — tracing never grows without bound and never
-    perturbs the simulation. *)
+    perturbs the simulation.
+
+    {!subscribe} registers a streaming observer that sees {e every}
+    emitted event, including the ones the bounded ring later evicts —
+    the hook runtime-verification monitors are built on. *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 
@@ -19,7 +23,25 @@ val create : ?capacity:int -> unit -> t
     @raise Invalid_argument when [capacity <= 0]. *)
 
 val emit : t -> at:float -> string -> (string * value) list -> unit
-(** Append an event; evicts the oldest when full. *)
+(** Append an event; evicts the oldest when full.  Every subscriber is
+    invoked with the event, whether or not the ring retains it. *)
+
+(** {1 Subscriptions}
+
+    Ring consumers see a bounded window; subscribers see the full stream.
+    Subscribers run synchronously inside {!emit}, in subscription order,
+    and must not emit into the same trace. *)
+
+type subscription
+
+val subscribe : t -> (event -> unit) -> subscription
+(** Register a callback invoked on every subsequent {!emit}. *)
+
+val unsubscribe : t -> subscription -> unit
+(** Remove a subscription; unknown ids are ignored. *)
+
+val subscribers : t -> int
+(** Number of live subscriptions. *)
 
 val length : t -> int
 (** Events currently retained. *)

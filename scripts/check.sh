@@ -19,6 +19,23 @@ if dune exec bin/cdbs_cli.exe -- check -w quickstart --inject locality >/dev/nul
   exit 1
 fi
 
+# Strict lint: scenarios that ship warning-free must stay that way
+# (--strict turns warnings into a non-zero exit).
+dune exec bin/cdbs_cli.exe -- check -w trace --strict
+dune exec bin/cdbs_cli.exe -- check -w migration --strict
+
+# Protocol sanitizer: a monitored chaos run with the full defense stack
+# must produce zero trace-protocol violations, and a deliberately
+# corrupted event stream must be rejected for every injection kind.
+dune exec bin/cdbs_cli.exe -- verify-trace --seed 7 -n 4 -k 1 \
+  --duration 300 --rate 10 --json --strict
+for inj in breaker-hop rejoin deadline down-serve; do
+  if dune exec bin/cdbs_cli.exe -- verify-trace --inject "$inj" >/dev/null 2>&1; then
+    echo "error: monitor accepted a corrupted trace ($inj)" >&2
+    exit 1
+  fi
+done
+
 # Chaos smoke: a seeded fault schedule against a 1-safe allocation must
 # keep availability at 1.0 (the run exits non-zero below the threshold).
 dune exec bin/cdbs_cli.exe -- chaos --seed 7 -n 4 -k 1 --max-down 1 \
@@ -34,8 +51,9 @@ dune exec bin/cdbs_cli.exe -- overload --seed 11 -n 4 --rate 240 \
 
 # Day-in-production smoke: the scaled-down 24h macro-benchmark (diurnal
 # load, autoscaling, live migration, chaos, defenses) must hold the SLO
-# and persist its BENCH_day.json report (non-zero exit on violation).
-dune exec bin/cdbs_cli.exe -- day --smoke --json --out BENCH_day.json \
+# with the protocol sanitizer attached and persist its BENCH_day.json
+# report (non-zero exit on an SLO or monitor violation).
+dune exec bin/cdbs_cli.exe -- day --smoke --monitor --json --out BENCH_day.json \
   --min-availability 0.99 --max-p99-ms 50 --max-shed-rate 0.01
 test -s BENCH_day.json
 

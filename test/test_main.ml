@@ -19,6 +19,7 @@ let () =
       ("segmented-memetic", Test_segmented.suite);
       ("autoscale", Test_autoscale.suite);
       ("analysis", Test_analysis.suite);
+      ("monitor", Test_monitor.suite);
       ("experiments", Test_experiments.suite);
       ("paper-examples", Test_paper_examples.suite);
       ("resilience", Test_resilience.suite);
