@@ -283,14 +283,14 @@ let experiment_cmd =
                   ("balance", `Balance); ("elastic", `Elastic);
                   ("ablation", `Ablation); ("migration", `Migration);
                   ("faults", `Faults); ("overload", `Overload);
-                  ("day", `Day);
+                  ("day", `Day); ("zones", `Zones);
                 ]))
           None
       & info [] ~docv:"SECTION"
           ~doc:
             "Experiment section: $(b,tables), $(b,tpch), $(b,tpcapp), \
              $(b,balance), $(b,elastic), $(b,ablation), $(b,migration), \
-             $(b,faults), $(b,overload) or $(b,day).")
+             $(b,faults), $(b,overload), $(b,day) or $(b,zones).")
   in
   let run = function
     | `Tables -> Cdbs_experiments.Tables.print_all ()
@@ -303,6 +303,7 @@ let experiment_cmd =
     | `Faults -> Cdbs_experiments.Fig_faults.print_all ()
     | `Overload -> Cdbs_experiments.Fig_overload.print_all ()
     | `Day -> Cdbs_experiments.Fig_day.print_all ()
+    | `Zones -> Cdbs_experiments.Fig_zones.print_all ()
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run a paper-reproduction experiment section")
@@ -533,13 +534,13 @@ let scenario_label name injected =
   | Some what -> Printf.sprintf "%s [injected fault: %s]" name what
 
 (* Lint a workload and verify the allocation an algorithm produces for it. *)
-let check_allocation_scenario ~name ?schema ?(k = 0) ~workload ~alloc ~fault ()
-    =
+let check_allocation_scenario ~name ?schema ?(k = 0) ?topology ~workload
+    ~alloc ~fault () =
   let workload_diags = Check_w.check ?schema workload in
   let injected =
     match fault with Some f -> inject_allocation_fault f alloc | None -> None
   in
-  let alloc_diags = Check_a.check ~k alloc in
+  let alloc_diags = Check_a.check ~k ?topology alloc in
   {
     scenario = scenario_label name injected;
     diagnostics = workload_diags @ alloc_diags;
@@ -569,7 +570,8 @@ let check_cmd =
           ~doc:
             "What to verify: $(b,all) (the shipped example scenarios), or a \
              single built-in workload $(b,quickstart), $(b,tpch), \
-             $(b,tpcapp), $(b,trace), $(b,timeseries) or $(b,migration).")
+             $(b,tpcapp), $(b,trace), $(b,timeseries), $(b,zones) or \
+             $(b,migration).")
   in
   let algorithm_arg =
     Arg.(
@@ -662,6 +664,23 @@ let check_cmd =
         ~name:"live migration (trace 4h -> 14h, 2 MB/s)" ~nodes:n
         ~from_hour:4. ~to_hour:14. ~bandwidth:2. ~corrupt ()
     in
+    let zones_scenario ~fault () =
+      (* Domain-aware k-safety verified against the topology that built it
+         (ALC013/ALC014): 6 backends in 2 contiguous racks. *)
+      let workload = Cdbs_workloads.Trace.workload_at ~hour:14. in
+      let nodes = 6 in
+      let topology =
+        Core.Topology.make (Array.init nodes (fun b -> b * 2 / nodes))
+      in
+      check_allocation_scenario
+        ~name:"zones (trace 14h, k=1, 6 backends in 2 racks)"
+        ~schema:(Cdbs_storage.Schema.to_assoc Cdbs_workloads.Trace.schema)
+        ~k:1 ~topology ~workload
+        ~alloc:
+          (Core.Ksafety.allocate ~topology ~k:1 workload
+             (Core.Backend.homogeneous nodes))
+        ~fault ()
+    in
     let results =
       match name with
       | "quickstart" -> [ quickstart_scenario ~fault:alloc_fault () ]
@@ -692,6 +711,7 @@ let check_cmd =
                    ~rng:(rng ()) ~n:2000)
               ~alg:algorithm ~fault:alloc_fault ();
           ]
+      | "zones" -> [ zones_scenario ~fault:alloc_fault () ]
       | "migration" -> [ migration ~corrupt:corrupt_plan () ]
       | "all" ->
           (* The shipped example configurations (examples/*.ml), each
@@ -740,6 +760,7 @@ let check_cmd =
                 (Cdbs_workloads.Timeseries.workload ~granularity:`Predicate
                    ~rng:(rng ()) ~n:2000)
               ~alg:`Greedy ~fault:None ();
+            zones_scenario ~fault:None ();
             migration ~corrupt:false ();
           ]
       | other ->
@@ -844,17 +865,56 @@ let chaos_cmd =
             "Exit non-zero when availability (completed / offered) falls \
              below this threshold — the CI smoke-test hook.")
   in
+  let zones_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "zones" ] ~docv:"Z"
+          ~doc:
+            "Fault domains the backends are spread over (round-robin).  \
+             With more than one zone the allocation is built domain-aware \
+             and correlated faults resolve zone membership.")
+  in
+  let correlated_mtbf_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "correlated-mtbf" ] ~docv:"SECONDS"
+          ~doc:
+            "Mean time between correlated (whole-zone) incidents: network \
+             partitions and zone outages.  Off by default.")
+  in
+  let partition_prob_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "partition-prob" ] ~docv:"P"
+          ~doc:
+            "Probability a correlated incident is a network partition \
+             (isolation + fenced heal) rather than a zone outage (crash).")
+  in
+  let monitor_gate_arg =
+    Arg.(
+      value & flag
+      & info [ "monitor" ]
+          ~doc:
+            "Exit non-zero on any protocol-monitor violation (violations \
+             are always counted and reported).")
+  in
   let json_arg =
     Arg.(
       value & flag
       & info [ "json" ] ~doc:"Emit the outcome as machine-readable JSON.")
   in
-  let run n seed mtbf mttr duration rate k max_down min_avail json =
+  let run n seed mtbf mttr duration rate k max_down min_avail zones
+      correlated_mtbf partition_prob monitor_gate json =
     let module Faults = Cdbs_faults in
     let module Sim = Cdbs_cluster.Simulator in
+    let module Mon = Cdbs_analysis.Monitor in
+    let module Tel = Cdbs_telemetry in
     let workload = Cdbs_workloads.Trace.workload_at ~hour:14. in
+    let topology =
+      if zones > 1 then Some (Core.Topology.uniform ~zones n) else None
+    in
     let alloc =
-      Core.Ksafety.allocate ~k workload (Core.Backend.homogeneous n)
+      Core.Ksafety.allocate ?topology ~k workload (Core.Backend.homogeneous n)
     in
     let rng = Cdbs_util.Rng.create seed in
     let faults =
@@ -865,6 +925,9 @@ let chaos_cmd =
           mttr;
           horizon = duration;
           max_concurrent_down = max_down;
+          correlated_mtbf;
+          partition_prob;
+          zones;
         }
     in
     let reqs =
@@ -876,16 +939,32 @@ let chaos_cmd =
            (Cdbs_workloads.Trace.specs_at ~hour:14.))
     in
     let config = Sim.homogeneous_config n in
-    let fo = Sim.run_open_with_faults config alloc reqs ~faults in
-    let crashes =
-      List.length
-        (List.filter
-           (fun (t : Faults.Fault.timed) ->
-             match t.Faults.Fault.event with
-             | Faults.Fault.Crash _ -> true
-             | _ -> false)
-           faults)
+    let sink = Tel.Sink.create () in
+    let monitor = Mon.create () in
+    let fo =
+      Sim.run_open_with_faults ~telemetry:sink ~monitor ?topology config alloc
+        reqs ~faults
     in
+    let count p = List.length (List.filter p faults) in
+    let crashes =
+      count (fun (t : Faults.Fault.timed) ->
+          match t.Faults.Fault.event with
+          | Faults.Fault.Crash _ -> true
+          | _ -> false)
+    in
+    let partitions =
+      count (fun (t : Faults.Fault.timed) ->
+          match t.Faults.Fault.event with
+          | Faults.Fault.Partition _ -> true
+          | _ -> false)
+    in
+    let zone_outages =
+      count (fun (t : Faults.Fault.timed) ->
+          match t.Faults.Fault.event with
+          | Faults.Fault.ZoneOutage _ -> true
+          | _ -> false)
+    in
+    let trace_dropped = Tel.Trace.dropped sink.Tel.Sink.trace in
     let p50_ms = 1000. *. fo.Sim.run.Sim.p50_response in
     let p95_ms = 1000. *. fo.Sim.run.Sim.p95_response in
     let p99_ms = 1000. *. fo.Sim.run.Sim.p99_response in
@@ -897,23 +976,28 @@ let chaos_cmd =
     in
     if json then
       Printf.printf
-        "{\"seed\":%d,\"backends\":%d,\"k\":%d,\"mtbf\":%g,\"mttr\":%g,\
+        "{\"seed\":%d,\"backends\":%d,\"k\":%d,\"zones\":%d,\"mtbf\":%g,\
+         \"mttr\":%g,\
          \"duration\":%g,\"rate\":%g,\"fault_events\":%d,\"crashes\":%d,\
+         \"partitions\":%d,\"zone_outages\":%d,\
          \"offered\":%d,\"completed\":%d,\"availability\":%.6f,\
          \"aborted\":%d,\"timeouts\":%d,\"retried_requests\":%d,\
          \"retries\":%d,\"avg_response_ms\":%.3f,\"p50_response_ms\":%.3f,\
          \"p95_response_ms\":%.3f,\"p99_response_ms\":%.3f,\
          \"utilization\":[%s],\
          \"cancelled_work_s\":%.3f,\"catch_up_mb\":%.3f,\"recoveries\":%d,\
-         \"downtime_s\":%.3f,\"max_concurrent_down\":%d}\n"
-        seed n k mtbf mttr duration rate (List.length faults) crashes
-        fo.Sim.offered fo.Sim.run.Sim.completed fo.Sim.availability
-        fo.Sim.aborted fo.Sim.timeouts fo.Sim.retried_requests fo.Sim.retries
+         \"downtime_s\":%.3f,\"max_concurrent_down\":%d,\
+         \"trace_dropped\":%d,\"monitor_violations\":%d}\n"
+        seed n k zones mtbf mttr duration rate (List.length faults) crashes
+        partitions zone_outages fo.Sim.offered fo.Sim.run.Sim.completed
+        fo.Sim.availability fo.Sim.aborted fo.Sim.timeouts
+        fo.Sim.retried_requests fo.Sim.retries
         (1000. *. fo.Sim.run.Sim.avg_response)
         p50_ms p95_ms p99_ms (json_floats utilization) fo.Sim.cancelled_work
         fo.Sim.catch_up_mb
         (List.length fo.Sim.recoveries)
-        total_downtime fo.Sim.max_concurrent_down
+        total_downtime fo.Sim.max_concurrent_down trace_dropped
+        (Mon.violations monitor)
     else begin
       Fmt.pr "fault timeline (seed %d, mtbf %.0fs, mttr %.0fs):@." seed mtbf
         mttr;
@@ -937,24 +1021,40 @@ let chaos_cmd =
          %.1fs total downtime, max %d down at once@."
         fo.Sim.cancelled_work fo.Sim.catch_up_mb
         (List.length fo.Sim.recoveries)
-        total_downtime fo.Sim.max_concurrent_down
+        total_downtime fo.Sim.max_concurrent_down;
+      Fmt.pr
+        "%d partitions, %d zone outages; monitor: %d events, %d \
+         violation%s; trace dropped %d@."
+        partitions zone_outages (Mon.events_seen monitor)
+        (Mon.violations monitor)
+        (if Mon.violations monitor = 1 then "" else "s")
+        trace_dropped
     end;
     if fo.Sim.availability < min_avail then begin
       Fmt.epr "chaos: availability %.4f below threshold %.4f@."
         fo.Sim.availability min_avail;
+      exit 1
+    end;
+    if monitor_gate && not (Mon.clean monitor) then begin
+      Fmt.epr "%a" Diag.pp_report (Mon.report monitor);
+      Fmt.epr "chaos: protocol monitor found %d violation%s@."
+        (Mon.violations monitor)
+        (if Mon.violations monitor = 1 then "" else "s");
       exit 1
     end
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
-         "Run a seeded chaos experiment: crash/recover/slowdown faults \
-          against a k-safe allocation, with retries, catch-up and \
-          degradation metrics")
+         "Run a seeded chaos experiment: crash/recover/slowdown faults — \
+          plus correlated network partitions and zone outages — against a \
+          (fault-domain-aware) k-safe allocation, with retries, fencing, \
+          catch-up and degradation metrics")
     Term.(
       const run $ backends_arg $ seed_arg $ mtbf_arg $ mttr_arg
       $ duration_arg $ rate_arg $ k_arg $ max_down_arg $ min_avail_arg
-      $ json_arg)
+      $ zones_arg $ correlated_mtbf_arg $ partition_prob_arg
+      $ monitor_gate_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* overload                                                            *)
@@ -1023,10 +1123,16 @@ let overload_cmd =
   in
   let run n seed rate duration slow_factor slow_backend deadline json
       max_p99 max_shed =
+    let module Mon = Cdbs_analysis.Monitor in
+    let module Tel = Cdbs_telemetry in
+    let sink = Tel.Sink.create () in
+    let monitor = Mon.create () in
     let victim, c =
       Fo.compare_at ~nodes:n ~seed ~duration ~slow_factor
-        ~deadline_s:deadline ?slow_backend ~rate_per_s:rate ()
+        ~deadline_s:deadline ?slow_backend ~telemetry:sink ~monitor
+        ~rate_per_s:rate ()
     in
+    let trace_dropped = Tel.Trace.dropped sink.Tel.Sink.trace in
     let d = c.Fo.defended and u = c.Fo.undefended in
     let shed_rate = float_of_int d.Fo.shed /. float_of_int (max 1 d.Fo.offered) in
     let ok, violations = Fo.acceptance c in
@@ -1046,6 +1152,7 @@ let overload_cmd =
          \"timeouts\":%d,\"hedged\":%d,\"hedge_wins\":%d,\
          \"breaker_trips\":%d,\"wasted_s\":%.3f,\"shed_rate\":%.6f,\
          \"utilization\":[%s]},\
+         \"trace_dropped\":%d,\"monitor_violations\":%d,\
          \"acceptance\":%b}\n"
         seed n rate duration victim slow_factor deadline u.Fo.availability
         u.Fo.p50_ms u.Fo.p95_ms u.Fo.p99_ms u.Fo.shed u.Fo.timeouts
@@ -1053,7 +1160,7 @@ let overload_cmd =
         d.Fo.shed d.Fo.shed_updates d.Fo.timeouts d.Fo.hedged d.Fo.hedge_wins
         d.Fo.breaker_trips d.Fo.wasted_s shed_rate
         (json_floats d.Fo.utilization)
-        ok
+        trace_dropped (Mon.violations monitor) ok
     else begin
       Fmt.pr
         "overload: %d backends, %.0f req/s for %.0fs, backend %d at x%.1f \
@@ -1064,6 +1171,10 @@ let overload_cmd =
       Fmt.pr "  defended utilization: %a  (shed rate %.4f)@."
         Fmt.(array ~sep:sp (fmt "%.3f"))
         d.Fo.utilization shed_rate;
+      Fmt.pr "  monitor: %d violation%s; trace dropped %d@."
+        (Mon.violations monitor)
+        (if Mon.violations monitor = 1 then "" else "s")
+        trace_dropped;
       if ok then Fmt.pr "  acceptance: ok@."
       else begin
         Fmt.pr "  acceptance FAILED:@.";
@@ -1192,7 +1303,8 @@ let day_cmd =
       if with_monitor then Some (Cdbs_analysis.Monitor.create ()) else None
     in
     let r = Fd.run ~params ?monitor () in
-    if json then print_endline (Fd.to_json r)
+    let mv = Option.map Cdbs_analysis.Monitor.violations monitor in
+    if json then print_endline (Fd.to_json ?monitor_violations:mv r)
     else begin
       Fmt.pr
         "day: seed %d, scale %g, %g-minute windows, %d-%d nodes@."
@@ -1204,7 +1316,7 @@ let day_cmd =
     end;
     (match out with
     | Some path ->
-        Fd.write_json ~path r;
+        Fd.write_json ?monitor_violations:mv ~path r;
         if not json then Fmt.pr "wrote %s@." path
     | None -> ());
     let gate =
@@ -1303,6 +1415,7 @@ let verify_trace_cmd =
       [
         ("none", `None); ("breaker-hop", `Breaker_hop); ("rejoin", `Rejoin);
         ("deadline", `Deadline); ("down-serve", `Down_serve);
+        ("split-brain", `Split_brain);
       ]
   in
   let inject_arg =
@@ -1316,7 +1429,10 @@ let verify_trace_cmd =
              transition (TRC004), $(b,rejoin) serves a read before \
              catch-up finished (TRC005), $(b,deadline) grows the deadline \
              budget across retries (TRC007), $(b,down-serve) books work on \
-             a crashed backend (TRC003).")
+             a crashed backend (TRC003), $(b,split-brain) walks the whole \
+             partition pathology: a serve while isolated (TRC013), a read \
+             on a fenced backend after the heal (TRC015) and a non-monotonic \
+             fencing epoch (TRC014).")
   in
   let run n seed k mtbf mttr duration rate deadline json strict inject =
     (* The sanitizer reports; like check, it must not trip the in-engine
@@ -1376,7 +1492,8 @@ let verify_trace_cmd =
     let injected =
       match inject with
       | `None -> None
-      | (`Breaker_hop | `Rejoin | `Deadline | `Down_serve) as f ->
+      | (`Breaker_hop | `Rejoin | `Deadline | `Down_serve | `Split_brain) as f
+        ->
           ev 0. "run.start"
             [ ("backends", Tel.Trace.Int n); ("offered", Tel.Trace.Int 0) ];
           Some
@@ -1426,7 +1543,43 @@ let verify_trace_cmd =
                     ("start", Tel.Trace.Float 2.);
                     ("finish", Tel.Trace.Float 2.2);
                   ];
-                "work booked on a crashed backend")
+                "work booked on a crashed backend"
+            | `Split_brain ->
+                (* The full partition pathology: the isolated minority keeps
+                   serving, the heal fence is ignored, and a replayed heal
+                   reuses an old epoch. *)
+                ev 1. "backend.partition" [ ("backend", Tel.Trace.Int 0) ];
+                ev 2. "backend.serve"
+                  [
+                    ("backend", Tel.Trace.Int 0);
+                    ("kind", Tel.Trace.Str "read");
+                    ("start", Tel.Trace.Float 2.);
+                    ("finish", Tel.Trace.Float 2.1);
+                  ];
+                ev 3. "backend.heal"
+                  [
+                    ("backend", Tel.Trace.Int 0);
+                    ("epoch", Tel.Trace.Int 1);
+                    ("replay_mb", Tel.Trace.Float 4.);
+                  ];
+                ev 4. "backend.serve"
+                  [
+                    ("backend", Tel.Trace.Int 0);
+                    ("kind", Tel.Trace.Str "read");
+                    ("start", Tel.Trace.Float 4.);
+                    ("finish", Tel.Trace.Float 4.1);
+                  ];
+                ev 5. "backend.fence_lift"
+                  [ ("backend", Tel.Trace.Int 0); ("epoch", Tel.Trace.Int 1) ];
+                ev 6. "backend.partition" [ ("backend", Tel.Trace.Int 0) ];
+                ev 7. "backend.heal"
+                  [
+                    ("backend", Tel.Trace.Int 0);
+                    ("epoch", Tel.Trace.Int 1);
+                    ("replay_mb", Tel.Trace.Float 0.);
+                  ];
+                "served while partitioned, read through the heal fence, \
+                 stale fencing epoch")
     in
     let diags = Diag.sort (static_diags @ Mon.report monitor) in
     let errors = List.length (Diag.errors diags) in
@@ -1436,12 +1589,13 @@ let verify_trace_cmd =
         "{\"seed\":%d,\"backends\":%d,\"k\":%d,\"mtbf\":%g,\"mttr\":%g,\
          \"duration\":%g,\"rate\":%g,\"deadline_s\":%g,\
          \"offered\":%d,\"completed\":%d,\"availability\":%.6f,\
-         \"events_seen\":%d,\"trace_dropped\":%d,\"injected\":%s,\
+         \"events_seen\":%d,\"trace_dropped\":%d,\
+         \"monitor_violations\":%d,\"injected\":%s,\
          \"errors\":%d,\"warnings\":%d,\"diagnostics\":%s}\n"
         seed n k mtbf mttr duration rate deadline fo.Sim.offered
         fo.Sim.run.Sim.completed fo.Sim.availability
         (Mon.events_seen monitor)
-        (Tel.Trace.dropped tr)
+        (Tel.Trace.dropped tr) (Mon.violations monitor)
         (match injected with
         | Some what -> json_string what
         | None -> "null")

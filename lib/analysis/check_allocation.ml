@@ -175,6 +175,51 @@ let check_ksafety ~k alloc =
     class_diags @ fragment_diags
   end
 
+(* Domain spread: with a topology, k-safety must also hold against
+   correlated failures — replicas of a class may not stack in fewer zones
+   than min(k+1, zones). *)
+let check_topology ?topology ~k alloc =
+  match topology with
+  | None -> []
+  | Some t ->
+      let n = Allocation.num_backends alloc in
+      if Topology.num_backends t <> n then
+        [
+          D.error ~code:"ALC014" ~subject:"topology"
+            ~data:
+              [
+                ("topology_backends", D.Int (Topology.num_backends t));
+                ("backends", D.Int n);
+              ]
+            "covers %d backends but the allocation has %d"
+            (Topology.num_backends t) n;
+        ]
+      else if k <= 0 then []
+      else begin
+        let required = min (k + 1) (Topology.zones t) in
+        List.filter_map
+          (fun (c : Query_class.t) ->
+            let spread = Ksafety.class_zone_spread ~topology:t alloc c in
+            if spread < required then
+              Some
+                (D.error ~code:"ALC013" ~subject:(class_subject c)
+                   ~data:
+                     [
+                       ("zones_spanned", D.Int spread);
+                       ("required", D.Int required);
+                       ("replicas",
+                        D.Int (Ksafety.class_replica_count alloc c));
+                     ]
+                   "replicas span %d fault domain%s, fewer than the \
+                    min(k+1, zones) = %d required — a single zone outage \
+                    takes out every copy"
+                   spread
+                   (if spread = 1 then "" else "s")
+                   required)
+            else None)
+          (Workload.all_classes (Allocation.workload alloc))
+      end
+
 (* Lint: storage nothing assigned on the backend needs, and idle backends. *)
 let check_lints ~k alloc =
   let workload = Allocation.workload alloc in
@@ -217,17 +262,18 @@ let check_lints ~k alloc =
   done;
   !out
 
-let check ?(k = 0) ?max_scale ?storage_limit_mb alloc =
+let check ?(k = 0) ?max_scale ?storage_limit_mb ?topology alloc =
   check_locality alloc
   @ check_read_conservation alloc
   @ check_updates alloc
   @ check_scale ?max_scale alloc
   @ check_storage ?storage_limit_mb alloc
   @ check_ksafety ~k alloc
+  @ check_topology ?topology ~k alloc
   @ check_lints ~k alloc
 
-let check_exn ?k ~context alloc =
-  match Diagnostic.errors (check ?k alloc) with
+let check_exn ?k ?topology ~context alloc =
+  match Diagnostic.errors (check ?k ?topology alloc) with
   | [] -> ()
   | errs ->
       raise

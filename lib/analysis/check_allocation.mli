@@ -27,7 +27,13 @@
                          assigned on it references (prune would drop it;
                          suppressed when [~k > 0] — standby replicas are
                          intentional there)
-    - [ALC012] (info)    idle backend: no fragments and no assigned load *)
+    - [ALC012] (info)    idle backend: no fragments and no assigned load
+    - [ALC013] (error)   domain spread: a query class's replicas span
+                         fewer than [min (k+1, zones)] fault domains — a
+                         single zone outage takes out every copy (only
+                         with [~topology] and [~k > 0])
+    - [ALC014] (error)   the given [topology] does not cover exactly the
+                         allocation's backends *)
 
 open Cdbs_core
 
@@ -35,13 +41,16 @@ val check :
   ?k:int ->
   ?max_scale:float ->
   ?storage_limit_mb:float array ->
+  ?topology:Topology.t ->
   Allocation.t ->
   Diagnostic.t list
 (** [k] defaults to 0 (no k-safety checks); [max_scale] and
     [storage_limit_mb] (per backend, in MB) enable the corresponding bound
-    checks when given. *)
+    checks when given.  [topology] enables the domain-spread checks:
+    ALC014 always, ALC013 when [k > 0]. *)
 
-val check_exn : ?k:int -> context:string -> Allocation.t -> unit
+val check_exn :
+  ?k:int -> ?topology:Topology.t -> context:string -> Allocation.t -> unit
 (** Raise {!Cdbs_core.Invariants.Violation} listing all error-severity
     findings; warnings and infos are ignored.  The assertion form used by
     debug-mode call sites. *)

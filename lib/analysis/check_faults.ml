@@ -3,8 +3,8 @@ module Chaos = Cdbs_faults.Chaos
 
 let extreme_slowdown = 10.
 
-let check_schedule ?k ~num_backends (schedule : Fault.schedule) =
-  match Fault.validate ~num_backends schedule with
+let check_schedule ?k ?zone_of ~num_backends (schedule : Fault.schedule) =
+  match Fault.validate ?zone_of ~num_backends schedule with
   | Error e ->
       [
         Diagnostic.error ~code:"FLT001" ~subject:"schedule"
@@ -14,6 +14,41 @@ let check_schedule ?k ~num_backends (schedule : Fault.schedule) =
       let diags = ref [] in
       let add d = diags := d :: !diags in
       let bsub b = Printf.sprintf "backend B%d" (b + 1) in
+      (* The correlated kinds expand into crash/recover-shaped windows so
+         the down-set walk below covers them: a partitioned backend is as
+         unreachable as a crashed one.  Validation already guaranteed the
+         windows don't overlap other events, so the expansion preserves
+         per-backend alternation. *)
+      let members_of { Fault.at = _; event } =
+        match event with
+        | Fault.Partition { backends = bs; _ } -> bs
+        | Fault.ZoneOutage { zone; duration = _ } -> (
+            match zone_of with
+            | None -> []
+            | Some zs ->
+                let acc = ref [] in
+                Array.iteri (fun b z -> if z = zone then acc := b :: !acc) zs;
+                List.rev !acc)
+        | _ -> []
+      in
+      let expand ({ Fault.at; event } as te) =
+        match event with
+        | Fault.Partition { duration; _ } | Fault.ZoneOutage { duration; _ }
+          ->
+            let bs = members_of te in
+            if List.length bs >= num_backends then
+              add
+                (Diagnostic.warning ~code:"FLT009" ~subject:"schedule"
+                   ~data:[ ("at", Diagnostic.Num at) ]
+                   "correlated fault at %g isolates every backend: a \
+                    whole-cluster blackout no placement can survive"
+                   at);
+            List.concat_map
+              (fun b ->
+                [ Fault.crash ~at b; Fault.recover ~at:(at +. duration) b ])
+              bs
+        | _ -> [ te ]
+      in
       (* Walk the validated (hence alternation-correct) timeline tracking
          the down set. *)
       let down_at = Array.make (max 1 num_backends) nan in
@@ -45,8 +80,11 @@ let check_schedule ?k ~num_backends (schedule : Fault.schedule) =
                      ~data:[ ("factor", Diagnostic.Num factor) ]
                      "slowdown factor %gx is crash-like but invisible to \
                       crash handling (consider a crash/recover pair)"
-                     factor))
-        (Fault.sort schedule);
+                     factor)
+          | Fault.Partition _ | Fault.ZoneOutage _ ->
+              (* Removed by the expansion below; unreachable. *)
+              ())
+        (Fault.sort (List.concat_map expand (Fault.sort schedule)));
       Array.iteri
         (fun b at ->
           if not (Float.is_nan at) then
@@ -156,4 +194,28 @@ let check_params ?k (p : Chaos.params) =
          "horizon %g s is shorter than the MTBF %g s: most runs will see \
           no fault at all"
          p.Chaos.horizon p.Chaos.mtbf);
+  if
+    (not (Float.is_finite p.Chaos.partition_prob))
+    || p.Chaos.partition_prob < 0.
+    || p.Chaos.partition_prob > 1.
+  then
+    add
+      (Diagnostic.error ~code:"FLT008" ~subject
+         ~data:[ ("partition_prob", Diagnostic.Num p.Chaos.partition_prob) ]
+         "partition_prob %g outside [0, 1]" p.Chaos.partition_prob);
+  if p.Chaos.zones < 1 then
+    add
+      (Diagnostic.error ~code:"FLT008" ~subject
+         ~data:[ ("zones", Diagnostic.Int p.Chaos.zones) ]
+         "zones %d < 1: at least one fault domain is required" p.Chaos.zones);
+  (match p.Chaos.correlated_mtbf with
+  | Some m ->
+      pos "correlated_mtbf" m;
+      if p.Chaos.zones = 1 then
+        add
+          (Diagnostic.warning ~code:"FLT009" ~subject
+             ~data:[ ("zones", Diagnostic.Int p.Chaos.zones) ]
+             "correlated failures with a single zone isolate the whole \
+              cluster at once: no placement can survive them")
+  | None -> ());
   Diagnostic.sort !diags

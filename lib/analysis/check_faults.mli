@@ -20,16 +20,28 @@
       instant — a no-op fault)
     - [FLT008] chaos parameters out of range (the generator would reject
       or silently misbehave)
+    - [FLT009] a correlated fault (partition / zone outage — or a chaos
+      configuration with correlated failures over a single zone) isolates
+      every backend at once: a whole-cluster blackout no placement can
+      survive
 
     [k], where accepted, is the k-safety degree the workload's allocation
     guarantees; omit it to skip the guarantee cross-checks. *)
 
 val check_schedule :
-  ?k:int -> num_backends:int -> Cdbs_faults.Fault.schedule ->
+  ?k:int ->
+  ?zone_of:int array ->
+  num_backends:int ->
+  Cdbs_faults.Fault.schedule ->
   Diagnostic.t list
 (** Lint a concrete timeline.  Runs {!Cdbs_faults.Fault.validate} first
-    ([FLT001]); the remaining lints run only on valid schedules. *)
+    ([FLT001]); the remaining lints run only on valid schedules.
+    [Partition] and [ZoneOutage] windows count toward the concurrent-down
+    peak ([FLT004]) — a partitioned backend is as unreachable as a crashed
+    one.  [zone_of] (e.g. a copy of {!Cdbs_core.Topology}'s assignment) is
+    required for schedules containing zone outages; without it they fail
+    validation. *)
 
 val check_params : ?k:int -> Cdbs_faults.Chaos.params -> Diagnostic.t list
 (** Lint a chaos-generator configuration ([FLT003]/[FLT004]/[FLT005]/
-    [FLT006]/[FLT008]). *)
+    [FLT006]/[FLT008]/[FLT009]). *)

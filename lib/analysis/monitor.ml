@@ -2,8 +2,12 @@ module Trace = Cdbs_telemetry.Trace
 module Sink = Cdbs_telemetry.Sink
 
 (* Per-run protocol view of one backend.  [Stale] is up-but-catching-up:
-   it takes updates and replay work, but must not serve reads. *)
-type backend_state = Up | Down | Stale
+   it takes updates and replay work, but must not serve reads.
+   [Partitioned] is isolated by a network partition: no work of any kind
+   may be booked on it.  [Fenced] is healed-but-not-caught-up: like
+   [Stale], but the rejoin is guarded by a monotonic epoch token and must
+   end with an explicit ["backend.fence_lift"]. *)
+type backend_state = Up | Down | Stale | Partitioned | Fenced
 
 type t = {
   (* Accumulated findings, newest first; [per_code] caps how many are
@@ -20,6 +24,7 @@ type t = {
   hedges : (int, unit) Hashtbl.t;  (* uids with an armed, unconsumed hedge *)
   spans : (string, int) Hashtbl.t;  (* base name -> starts - ends *)
   floors : (string, int) Hashtbl.t;  (* class id -> migration replica floor *)
+  epochs : (int, int) Hashtbl.t;  (* backend -> fencing epoch of last heal *)
   mutable attachments : (Trace.t * Trace.subscription) list;
 }
 
@@ -37,6 +42,7 @@ let create () =
     hedges = Hashtbl.create 16;
     spans = Hashtbl.create 8;
     floors = Hashtbl.create 8;
+    epochs = Hashtbl.create 8;
     attachments = [];
   }
 
@@ -58,7 +64,8 @@ let reset_run t =
   Hashtbl.reset t.retries;
   Hashtbl.reset t.hedges;
   Hashtbl.reset t.spans;
-  Hashtbl.reset t.floors
+  Hashtbl.reset t.floors;
+  Hashtbl.reset t.epochs
 
 let state t b = try Hashtbl.find t.backends b with Not_found -> Up
 let breaker_state t b = try Hashtbl.find t.breakers b with Not_found -> "closed"
@@ -96,19 +103,27 @@ let bsub b = Printf.sprintf "backend B%d" (b + 1)
 let on_crash t (e : Trace.event) =
   int_attr t e "backend" @@ fun b ->
   (match state t b with
-  | Down ->
+  | Down | Partitioned ->
       add t
         (Diagnostic.error ~code:"TRC001" ~subject:(bsub b)
            ~data:[ ("at", Diagnostic.Num e.Trace.at) ]
-           "crash at %g of a backend that is already down" e.Trace.at)
-  | Up | Stale -> ());
+           "crash at %g of a backend that is already out of service"
+           e.Trace.at)
+  | Up | Stale | Fenced -> ());
   Hashtbl.replace t.backends b Down
 
 let on_recover t (e : Trace.event) =
   int_attr t e "backend" @@ fun b ->
   (match state t b with
   | Down -> ()
-  | Up | Stale ->
+  | Partitioned ->
+      add t
+        (Diagnostic.error ~code:"TRC013" ~subject:(bsub b)
+           ~data:[ ("at", Diagnostic.Num e.Trace.at) ]
+           "partitioned backend rejoined at %g via plain recovery, \
+            bypassing the heal fence"
+           e.Trace.at)
+  | Up | Stale | Fenced ->
       add t
         (Diagnostic.error ~code:"TRC002" ~subject:(bsub b)
            ~data:[ ("at", Diagnostic.Num e.Trace.at) ]
@@ -120,12 +135,90 @@ let on_catchup_done t (e : Trace.event) =
   int_attr t e "backend" @@ fun b ->
   (match state t b with
   | Stale -> ()
-  | Up | Down ->
+  | Fenced ->
+      add t
+        (Diagnostic.error ~code:"TRC015" ~subject:(bsub b)
+           ~data:[ ("at", Diagnostic.Num e.Trace.at) ]
+           "fenced backend finished catch-up at %g without lifting its \
+            fence (expected backend.fence_lift)"
+           e.Trace.at)
+  | Up | Down | Partitioned ->
       add t
         (Diagnostic.error ~code:"TRC005" ~subject:(bsub b)
            ~data:[ ("at", Diagnostic.Num e.Trace.at) ]
            "catch-up completion at %g with no catch-up pending" e.Trace.at));
   if state t b = Stale then Hashtbl.replace t.backends b Up
+
+let on_partition t (e : Trace.event) =
+  int_attr t e "backend" @@ fun b ->
+  (match state t b with
+  | Down ->
+      add t
+        (Diagnostic.error ~code:"TRC013" ~subject:(bsub b)
+           ~data:[ ("at", Diagnostic.Num e.Trace.at) ]
+           "partition at %g of a backend that is already down" e.Trace.at)
+  | Partitioned ->
+      add t
+        (Diagnostic.error ~code:"TRC013" ~subject:(bsub b)
+           ~data:[ ("at", Diagnostic.Num e.Trace.at) ]
+           "partition at %g of a backend that is already partitioned"
+           e.Trace.at)
+  | Up | Stale | Fenced -> ());
+  Hashtbl.replace t.backends b Partitioned
+
+let epoch_of t b = try Hashtbl.find t.epochs b with Not_found -> 0
+
+let on_heal t (e : Trace.event) =
+  int_attr t e "backend" @@ fun b ->
+  int_attr t e "epoch" @@ fun ep ->
+  (match state t b with
+  | Partitioned -> ()
+  | Up | Down | Stale | Fenced ->
+      add t
+        (Diagnostic.error ~code:"TRC013" ~subject:(bsub b)
+           ~data:[ ("at", Diagnostic.Num e.Trace.at) ]
+           "heal at %g of a backend that is not partitioned" e.Trace.at));
+  let prev = epoch_of t b in
+  if ep <= prev then
+    add t
+      (Diagnostic.error ~code:"TRC014" ~subject:(bsub b)
+         ~data:
+           [
+             ("at", Diagnostic.Num e.Trace.at);
+             ("epoch", Diagnostic.Int ep);
+             ("previous", Diagnostic.Int prev);
+           ]
+         "heal at %g carries epoch %d, not above the previous epoch %d \
+          (fencing tokens must be monotonic)"
+         e.Trace.at ep prev);
+  Hashtbl.replace t.epochs b ep;
+  (* Healed backends are fenced until an explicit fence_lift, however
+     little they missed — the lift may share the heal's timestamp. *)
+  Hashtbl.replace t.backends b Fenced
+
+let on_fence_lift t (e : Trace.event) =
+  int_attr t e "backend" @@ fun b ->
+  int_attr t e "epoch" @@ fun ep ->
+  (match state t b with
+  | Fenced -> ()
+  | Up | Down | Stale | Partitioned ->
+      add t
+        (Diagnostic.error ~code:"TRC015" ~subject:(bsub b)
+           ~data:[ ("at", Diagnostic.Num e.Trace.at) ]
+           "fence lift at %g of a backend that is not fenced" e.Trace.at));
+  let heal_ep = epoch_of t b in
+  if ep <> heal_ep then
+    add t
+      (Diagnostic.error ~code:"TRC014" ~subject:(bsub b)
+         ~data:
+           [
+             ("at", Diagnostic.Num e.Trace.at);
+             ("epoch", Diagnostic.Int ep);
+             ("heal_epoch", Diagnostic.Int heal_ep);
+           ]
+         "fence lift at %g carries epoch %d, but the heal minted epoch %d"
+         e.Trace.at ep heal_ep);
+  if state t b = Fenced then Hashtbl.replace t.backends b Up
 
 let legal_breaker_hop from to_ =
   match (from, to_) with
@@ -165,6 +258,24 @@ let on_serve t (e : Trace.event) =
                ("kind", Diagnostic.Str kind);
              ]
            "%s work booked at %g on a crashed backend" kind e.Trace.at)
+  | Partitioned ->
+      add t
+        (Diagnostic.error ~code:"TRC013" ~subject:(bsub b)
+           ~data:
+             [
+               ("at", Diagnostic.Num e.Trace.at);
+               ("kind", Diagnostic.Str kind);
+             ]
+           "%s work booked at %g on a partitioned backend (nothing may \
+            reach an isolated node)"
+           kind e.Trace.at)
+  | Fenced when String.equal kind "read" ->
+      add t
+        (Diagnostic.error ~code:"TRC015" ~subject:(bsub b)
+           ~data:[ ("at", Diagnostic.Num e.Trace.at) ]
+           "read served at %g on a fenced backend (stale serve after a \
+            partition heal: split-brain)"
+           e.Trace.at)
   | Stale when String.equal kind "read" ->
       add t
         (Diagnostic.error ~code:"TRC005" ~subject:(bsub b)
@@ -373,6 +484,9 @@ let observe t (e : Trace.event) =
   | "backend.crash" -> on_crash t e
   | "backend.recover" -> on_recover t e
   | "backend.catchup_done" -> on_catchup_done t e
+  | "backend.partition" -> on_partition t e
+  | "backend.heal" -> on_heal t e
+  | "backend.fence_lift" -> on_fence_lift t e
   | "backend.serve" -> on_serve t e
   | "breaker.transition" -> on_breaker t e
   | "request.retry" -> on_request_retry t e

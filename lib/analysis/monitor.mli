@@ -35,6 +35,18 @@
       service interval, or a protocol event missing a required attribute
     - [TRC012] (warning) the attached trace ring overflowed — the
       retained ring is a suffix; monitors still saw every event
+    - [TRC013] partition lifecycle: work booked on a partitioned backend
+      (nothing may reach an isolated node), a partition of an
+      already-down or already-partitioned backend, a heal of a
+      non-partitioned backend, or a partitioned backend rejoining via
+      plain recovery (bypassing the heal fence)
+    - [TRC014] fencing epochs not monotonic: a heal whose epoch does not
+      strictly exceed the backend's previous epoch, or a fence lift
+      carrying a different epoch than its heal minted
+    - [TRC015] fenced until caught up: a read served on a fenced backend
+      (stale serve after a partition heal — split-brain), a fence lift of
+      a backend that is not fenced, or a fenced backend completing
+      catch-up without lifting its fence
 
     Monitors are pure observers: they never emit into the trace and never
     perturb the run.  Protocol state (which backends are down or stale,

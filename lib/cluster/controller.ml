@@ -561,9 +561,19 @@ let effective_k t =
   | None -> Array.length t.backends - List.length failed - 1
   | Some alloc -> Cdbs_core.Ksafety.effective_k ~failed alloc
 
-let repair t ~k =
+let repair ?topology t ~k =
+  let healthy () =
+    effective_k t >= k
+    && (* Replica count alone is not the whole target: with a topology the
+          survivors must also span enough fault domains. *)
+    match (topology, t.allocation) with
+    | Some topo, Some alloc ->
+        Cdbs_core.Ksafety.spread_ok ~failed:(failed_backends t)
+          ~topology:topo ~k alloc
+    | _ -> true
+  in
   if t.migration <> None then Error "a live migration is in progress"
-  else if effective_k t >= k then Ok 0.
+  else if healthy () then Ok 0.
   else
     match t.allocation with
     | None ->
@@ -572,7 +582,7 @@ let repair t ~k =
         Error "not enough live backends for the requested k"
     | Some alloc -> (
         let failed = failed_backends t in
-        match Cdbs_core.Ksafety.repair ~k ~failed alloc with
+        match Cdbs_core.Ksafety.repair ?topology ~k ~failed alloc with
         | exception Invalid_argument m -> Error m
         | gained ->
             assert_target ~context:"Controller.repair" alloc;

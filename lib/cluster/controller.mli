@@ -148,10 +148,17 @@ val effective_k : t -> int
     surviving backend count minus 1; [-1] means some query class has no
     live replica. *)
 
-val repair : t -> k:int -> (float, string) result
+val repair :
+  ?topology:Cdbs_core.Topology.t -> t -> k:int -> (float, string) result
 (** Self-repair loop body: when [effective_k t < k], re-replicate every
     under-replicated query class onto surviving backends
     ({!Cdbs_core.Ksafety.repair}) and ship the new copies from the master.
     Returns the megabytes shipped ([0.] when already k-safe).  Fails when a
     live migration is in progress, no allocation is deployed and too few
-    backends survive, or fewer than [k + 1] backends are up. *)
+    backends survive, or fewer than [k + 1] backends are up.
+
+    With [topology] the repair target includes {e spread}: even when the
+    replica count is intact, a run is triggered if some class's surviving
+    replicas span fewer than [min (k+1, live zones)] fault domains
+    ({!Cdbs_core.Ksafety.spread_ok}) — losing a zone must never leave a
+    class one outage away from extinction. *)

@@ -513,20 +513,36 @@ let dyn_time = function
   | Hedge_at { at; _ } -> at
 
 (* Everything the fault engine's event clock processes, unified so it can
-   ride a single priority queue. *)
+   ride a single priority queue.  [Partition] and [ZoneOutage] schedule
+   entries are expanded into start/heal pairs before the run so the clock
+   only ever sees instantaneous events. *)
 type sim_event =
   | Ev_fault of Fault.timed
+  | Ev_cut of { backends : int list; heal : bool; zone : int option }
   | Ev_dyn of dyn_event
   | Ev_arrival of Request.t
 
 module Resilience = Cdbs_resilience
 
 let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
-    ?monitor config alloc requests ~faults =
+    ?monitor ?topology ?(partition_timeout = 1.) config alloc requests ~faults
+    =
   let n = Allocation.num_backends alloc in
   if Array.length config.speeds <> n then
     invalid_arg "Simulator.run_open_with_faults: speeds length <> backends";
-  (match Fault.validate ~num_backends:n faults with
+  (match topology with
+  | Some t when Cdbs_core.Topology.num_backends t <> n ->
+      invalid_arg
+        "Simulator.run_open_with_faults: topology backend count <> allocation"
+  | _ -> ());
+  if not (partition_timeout >= 0.) then
+    invalid_arg "Simulator.run_open_with_faults: partition_timeout < 0";
+  let zone_of =
+    Option.map
+      (fun t -> Array.init n (Cdbs_core.Topology.zone_of t))
+      topology
+  in
+  (match Fault.validate ?zone_of ~num_backends:n faults with
   | Ok () -> ()
   | Error e -> invalid_arg ("Simulator.run_open_with_faults: " ^ e));
   (* A monitor needs an event stream even when the caller brought no sink
@@ -553,6 +569,14 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
   (* Per-backend lifecycle generation: bumped at every crash and recover so
      stale [Catchup_done] events from a superseded epoch are ignored. *)
   let gen = Array.make n 0 in
+  (* Partition / split-brain fencing state.  [partitioned] marks a backend
+     currently isolated by a network partition (its process runs but no
+     traffic reaches it); [epoch] is the monotonic fencing token bumped at
+     every heal; [fenced] marks a healed backend that must finish its delta
+     catch-up before its fence lifts and it may serve reads again. *)
+  let partitioned = Array.make n false in
+  let fenced = Array.make n false in
+  let epoch = Array.make n 0 in
   (* Apply volume lost on the backend itself (cancelled in-flight update
      applications and cancelled catch-up replay) — rejoins owe it on top of
      the delta journal's while-down captures. *)
@@ -631,7 +655,30 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
      bit-identical to the list-based engine. *)
   let q : sim_event Heap.t = Heap.create ~capacity:(max 256 (2 * offered)) () in
   List.iter
-    (fun (f : Fault.timed) -> Heap.add q ~time:f.Fault.at ~rank:0 (Ev_fault f))
+    (fun (f : Fault.timed) ->
+      match f.Fault.event with
+      | Fault.Partition { backends; duration } ->
+          Heap.add q ~time:f.Fault.at ~rank:0
+            (Ev_cut { backends; heal = false; zone = None });
+          Heap.add q
+            ~time:(f.Fault.at +. duration)
+            ~rank:0
+            (Ev_cut { backends; heal = true; zone = None })
+      | Fault.ZoneOutage { zone; duration } ->
+          (* Validation already required a topology for zone faults. *)
+          let members =
+            match topology with
+            | Some t -> Cdbs_core.Topology.backends_in t zone
+            | None -> []
+          in
+          Heap.add q ~time:f.Fault.at ~rank:0
+            (Ev_cut { backends = members; heal = false; zone = Some zone });
+          Heap.add q
+            ~time:(f.Fault.at +. duration)
+            ~rank:0
+            (Ev_cut { backends = members; heal = true; zone = Some zone })
+      | Fault.Crash _ | Fault.Recover _ | Fault.Slowdown _ ->
+          Heap.add q ~time:f.Fault.at ~rank:0 (Ev_fault f))
     (Fault.sort faults);
   List.iter
     (fun (r : Request.t) ->
@@ -735,12 +782,15 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
   (* An attempt of read [rc] failed at [now]: try again after backoff,
      unless the retry budget is spent.  With a deadline policy active the
      end-to-end budget governs instead of the fixed attempt count: the
-     chain retries as long as the backoff lands inside the budget. *)
-  let schedule_retry ~now rc =
+     chain retries as long as the backoff lands inside the budget.
+     [extra_delay] models slow failure: a partitioned backend does not
+     reset connections, so the client only notices after a network timeout
+     and the retry fires that much later. *)
+  let schedule_retry ?(extra_delay = 0.) ~now rc =
     let attempt = rc.rc_attempt + 1 in
     if (not deadline_on) && Retry.gives_up policy ~attempt then incr aborted
     else
-      let at = now +. Retry.backoff ?rng policy ~attempt in
+      let at = now +. extra_delay +. Retry.backoff ?rng policy ~attempt in
       let budget_spent =
         if deadline_on then at >= rc.rc_deadline
         else Retry.timed_out policy ~arrival:rc.rc_arrival ~now:at
@@ -887,10 +937,26 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
         incr completed_updates;
         Hashtbl.replace results u (r.Request.arrival, !finish_all -. now)
   in
-  let crash ~now b =
+  (* Take a backend out of service.  [cut = false] is a crash: clients see
+     connections reset and retry immediately.  [cut = true] is a network
+     partition: the process keeps running but is unreachable, so in-flight
+     reads hang for [partition_timeout] before failing over.  Either way
+     the backend's replicas go stale and the delta journal starts
+     capturing the update volume they miss. *)
+  let take_down ~now ~cut b =
     if Scheduler.is_up sched ~backend:b then begin
-      Tel.Sink.ev telemetry ~at:now "backend.crash"
-        [ ("backend", Tel.Trace.Int b) ];
+      (if cut then begin
+         partitioned.(b) <- true;
+         Tel.Sink.ev telemetry ~at:now "backend.partition"
+           [ ("backend", Tel.Trace.Int b) ]
+       end
+       else
+         Tel.Sink.ev telemetry ~at:now "backend.crash"
+           [ ("backend", Tel.Trace.Int b) ]);
+      (* A crash interrupts a fencing catch-up: the [gen] bump below
+         invalidates its [Catchup_done] and the fence state evaporates
+         with the process (the next rejoin starts a fresh catch-up). *)
+      fenced.(b) <- false;
       Scheduler.set_down sched ~backend:b;
       down_since.(b) <- now;
       incr cur_down;
@@ -908,9 +974,13 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
             match it.bk_kind with
             | Bk_read rc ->
                 (* The client notices the broken connection at the crash
-                   instant and re-issues against a surviving replica. *)
+                   instant and re-issues against a surviving replica; under
+                   a partition nothing resets, so it waits out the network
+                   timeout first (slow failure). *)
                 Hashtbl.remove results rc.rc_uid;
-                schedule_retry ~now rc
+                schedule_retry
+                  ~extra_delay:(if cut then partition_timeout else 0.)
+                  ~now rc
             | Bk_update | Bk_catchup ->
                 (* Un-applied fraction of the replica write (the update
                    itself committed on the survivors): owed at rejoin. *)
@@ -924,7 +994,13 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
         (Allocation.fragments_of alloc b)
     end
   in
-  let recover ~now b =
+  let crash ~now b = take_down ~now ~cut:false b in
+  (* Bring a backend back.  [healed = false] is a plain crash recovery;
+     [healed = true] ends a partition: the heal bumps the backend's
+     fencing epoch and — when it missed updates — keeps it fenced until
+     the delta catch-up completes, so a stale minority can never serve a
+     read the majority already moved past (split-brain prevention). *)
+  let rejoin ~now ~healed b =
     if not (Scheduler.is_up sched ~backend:b) then begin
       decr cur_down;
       downtime.(b) <- downtime.(b) +. (now -. down_since.(b));
@@ -937,11 +1013,25 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
           missed := !missed +. mb)
         (Allocation.fragments_of alloc b);
       let crashed_at = down_since.(b) in
-      Tel.Sink.ev telemetry ~at:now "backend.recover"
-        [ ("backend", Tel.Trace.Int b);
-          ("replay_mb", Tel.Trace.Float !missed) ];
+      if healed then begin
+        partitioned.(b) <- false;
+        epoch.(b) <- epoch.(b) + 1;
+        Tel.Sink.ev telemetry ~at:now "backend.heal"
+          [ ("backend", Tel.Trace.Int b);
+            ("epoch", Tel.Trace.Int epoch.(b));
+            ("replay_mb", Tel.Trace.Float !missed) ]
+      end
+      else
+        Tel.Sink.ev telemetry ~at:now "backend.recover"
+          [ ("backend", Tel.Trace.Int b);
+            ("replay_mb", Tel.Trace.Float !missed) ];
       if !missed <= 0. then begin
         Scheduler.set_up sched ~backend:b;
+        if healed then
+          (* Nothing was missed: the fence lifts at the heal instant. *)
+          Tel.Sink.ev telemetry ~at:now "backend.fence_lift"
+            [ ("backend", Tel.Trace.Int b);
+              ("epoch", Tel.Trace.Int epoch.(b)) ];
         recoveries :=
           { rec_backend = b; crashed_at; recovered_at = now;
             caught_up_at = now; replayed_mb = 0. }
@@ -953,6 +1043,7 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
            New updates queue behind the replay, keeping the backend
            consistent from the catch-up point on. *)
         Scheduler.set_up ~stale:true sched ~backend:b;
+        if healed then fenced.(b) <- true;
         catch_up_mb := !catch_up_mb +. !missed;
         let replay =
           !missed *. config.cost.Cost_model.scan_seconds_per_mb
@@ -977,6 +1068,30 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
       end
     end
   in
+  let recover ~now b = rejoin ~now ~healed:false b in
+  (* A partition start/heal, or a whole-zone outage (correlated crash of
+     every member, bracketed by zone.outage / zone.heal trace events). *)
+  let apply_cut ~now ~heal ~zone backends =
+    match zone with
+    | Some z ->
+        if heal then begin
+          List.iter (fun b -> rejoin ~now ~healed:false b) backends;
+          Tel.Sink.ev telemetry ~at:now "zone.heal"
+            [ ("zone", Tel.Trace.Int z) ]
+        end
+        else begin
+          Tel.Sink.ev telemetry ~at:now "zone.outage"
+            [ ("zone", Tel.Trace.Int z);
+              ("backends", Tel.Trace.Int (List.length backends)) ];
+          List.iter (fun b -> take_down ~now ~cut:false b) backends
+        end
+    | None ->
+        if heal then
+          List.iter
+            (fun b -> if partitioned.(b) then rejoin ~now ~healed:true b)
+            backends
+        else List.iter (fun b -> take_down ~now ~cut:true b) backends
+  in
   let apply_fault ({ Fault.at = now; event } : Fault.timed) =
     match event with
     | Fault.Crash b -> crash ~now b
@@ -988,6 +1103,10 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
             ("duration_s", Tel.Trace.Float duration) ];
         slow_factor.(b) <- factor;
         slow_until.(b) <- now +. duration
+    | Fault.Partition _ | Fault.ZoneOutage _ ->
+        (* Expanded into [Ev_cut] start/heal pairs when the heap was
+           loaded; never reaches the clock in this shape. *)
+        ()
   in
   let apply_dyn = function
     | Retry_at (now, rc) -> handle_read ~now rc
@@ -998,8 +1117,18 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
           && Scheduler.is_stale sched ~backend:b
         then begin
           Scheduler.set_stale sched ~backend:b ~stale:false;
-          Tel.Sink.ev telemetry ~at:now "backend.catchup_done"
-            [ ("backend", Tel.Trace.Int b) ];
+          (if fenced.(b) then begin
+             (* The healed backend finished replaying what it missed while
+                partitioned: its fence lifts and it may serve reads again,
+                under the epoch minted at heal time. *)
+             fenced.(b) <- false;
+             Tel.Sink.ev telemetry ~at:now "backend.fence_lift"
+               [ ("backend", Tel.Trace.Int b);
+                 ("epoch", Tel.Trace.Int epoch.(b)) ]
+           end
+           else
+             Tel.Sink.ev telemetry ~at:now "backend.catchup_done"
+               [ ("backend", Tel.Trace.Int b) ]);
           match Hashtbl.find_opt pending_catchup b with
           | Some r ->
               r.caught_up_at <- now;
@@ -1108,6 +1237,7 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
         now_ref := at;
         (match ev with
         | Ev_fault f -> apply_fault f
+        | Ev_cut { backends; heal; zone } -> apply_cut ~now:at ~heal ~zone backends
         | Ev_dyn e -> apply_dyn e
         | Ev_arrival r ->
             let u = !uid in

@@ -110,6 +110,8 @@ val run_open_with_faults :
   ?resilience:Cdbs_resilience.Policy.t ->
   ?telemetry:Cdbs_telemetry.Sink.t ->
   ?monitor:Cdbs_analysis.Monitor.t ->
+  ?topology:Cdbs_core.Topology.t ->
+  ?partition_timeout:float ->
   config ->
   Cdbs_core.Allocation.t ->
   Request.t list ->
@@ -130,6 +132,29 @@ val run_open_with_faults :
     it takes updates but serves no reads until the missed volume has been
     replayed through the journal cost model.  [Slowdown] inflates the
     backend's service times by [factor] for [duration].
+
+    [Partition] isolates its backends while their processes keep running:
+    routing treats them as down, but in-flight reads {e time out} instead
+    of failing fast — the retry fires [partition_timeout] seconds (default
+    1.0) after the cut, on top of the usual backoff (slow failure, the
+    defining difference from a crash).  When the partition heals, each
+    isolated backend bumps its monotonic {e fencing epoch} (emitted as
+    ["backend.heal"] with [epoch] and [replay_mb]) and rejoins fenced:
+    stale, replaying the update volume it missed through the delta
+    journal, serving no reads until the catch-up completes and
+    ["backend.fence_lift"] announces the fence is gone.  A backend that
+    missed nothing lifts its fence at the heal instant.  This is the
+    split-brain guard: a minority that kept running through a
+    live-migration cutover on the majority side can never serve stale
+    reads after the heal.
+
+    [ZoneOutage] is the correlated failure a domain-aware placement is
+    built for: every backend of the zone crashes at the same instant
+    (ordinary crash semantics, bracketed by ["zone.outage"] /
+    ["zone.heal"] trace events) and recovers together.  Zone faults
+    require [topology] to resolve membership; passing a schedule with a
+    [ZoneOutage] but no [topology] fails validation.  [topology], when
+    given, must cover exactly the allocation's backends.
 
     [rng] (seeded, deterministic) enables the retry policy's backoff
     jitter; without it backoffs are exact.

@@ -1,0 +1,68 @@
+type t = { zones : int; zone_of : int array }
+
+let make zone_of =
+  let n = Array.length zone_of in
+  if n = 0 then invalid_arg "Topology.make: no backends";
+  let max_zone = Array.fold_left max (-1) zone_of in
+  Array.iter
+    (fun z -> if z < 0 then invalid_arg "Topology.make: negative zone index")
+    zone_of;
+  let zones = max_zone + 1 in
+  let seen = Array.make zones false in
+  Array.iter (fun z -> seen.(z) <- true) zone_of;
+  Array.iteri
+    (fun z populated ->
+      if not populated then
+        invalid_arg (Printf.sprintf "Topology.make: zone %d has no backends" z))
+    seen;
+  { zones; zone_of = Array.copy zone_of }
+
+let of_zones zs = make (Array.of_list zs)
+
+let uniform ~zones n =
+  if zones <= 0 then invalid_arg "Topology.uniform: zones <= 0";
+  if n < zones then invalid_arg "Topology.uniform: fewer backends than zones";
+  make (Array.init n (fun b -> b mod zones))
+
+let single n = uniform ~zones:1 n
+let zones t = t.zones
+let num_backends t = Array.length t.zone_of
+
+let zone_of t b =
+  if b < 0 || b >= Array.length t.zone_of then
+    invalid_arg
+      (Printf.sprintf "Topology.zone_of: backend %d of %d" b
+         (Array.length t.zone_of));
+  t.zone_of.(b)
+
+let backends_in t z =
+  if z < 0 || z >= t.zones then
+    invalid_arg (Printf.sprintf "Topology.backends_in: zone %d of %d" z t.zones);
+  let acc = ref [] in
+  for b = Array.length t.zone_of - 1 downto 0 do
+    if t.zone_of.(b) = z then acc := b :: !acc
+  done;
+  !acc
+
+let zones_spanned t backends =
+  let seen = Array.make t.zones false in
+  List.iter
+    (fun b ->
+      if b >= 0 && b < Array.length t.zone_of then seen.(t.zone_of.(b)) <- true)
+    backends;
+  Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 seen
+
+(* The spread target for a replication degree: with k+1 replicas and [zones]
+   fault domains, the replicas of each fragment must cover
+   min(k+1, zones) distinct domains (Golab-style placement: losing any one
+   domain must leave a serving replica whenever k >= 1 and zones >= 2). *)
+let required_spread t ~k = min (k + 1) t.zones
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>%d zones:" t.zones;
+  for z = 0 to t.zones - 1 do
+    Fmt.pf ppf " z%d={%a}" z
+      Fmt.(list ~sep:(any ",") (fmt "B%d"))
+      (List.map (fun b -> b + 1) (backends_in t z))
+  done;
+  Fmt.pf ppf "@]"

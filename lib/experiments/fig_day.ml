@@ -204,6 +204,9 @@ let run ?(params = default) ?monitor () =
           slowdown_prob = 0.;
           slowdown_factor = 3.;
           max_concurrent_down = Some 1;
+          correlated_mtbf = None;
+          partition_prob = 0.5;
+          zones = 1;
         }
       |> List.map (fun (f : Fault.timed) ->
              { f with Fault.at = f.Fault.at +. t0 })
@@ -277,19 +280,20 @@ let run ?(params = default) ?monitor () =
     sink;
   }
 
-let to_json r =
+let to_json ?(monitor_violations = 0) r =
   Printf.sprintf
     "{\"name\":\"fig_day\",\"seed\":%d,\"scale\":%g,\"window_minutes\":%g,\
      \"nodes_min\":%d,\"nodes_max\":%d,\"windows\":%d,\"events\":%d,\
-     \"wall_s\":%.3f,\"events_per_s\":%.0f,\"slo\":%s}"
+     \"wall_s\":%.3f,\"events_per_s\":%.0f,\
+     \"trace_dropped\":%d,\"monitor_violations\":%d,\"slo\":%s}"
     r.params.seed r.params.scale r.params.window_minutes r.params.nodes_min
     r.params.nodes_max (List.length r.windows) r.events r.wall_s
-    r.events_per_s
+    r.events_per_s r.report.Tel.Slo_report.trace_dropped monitor_violations
     (Tel.Slo_report.to_json r.report)
 
-let write_json ~path r =
+let write_json ?monitor_violations ~path r =
   let oc = open_out path in
-  output_string oc (to_json r);
+  output_string oc (to_json ?monitor_violations r);
   output_char oc '\n';
   close_out oc
 

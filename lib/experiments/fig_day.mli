@@ -79,11 +79,14 @@ val run :
     under active debug invariants any protocol violation fails the run
     loudly at the offending window's end. *)
 
-val to_json : result -> string
+val to_json : ?monitor_violations:int -> result -> string
 (** The BENCH_day.json payload: parameters, SLO report, wall clock and
-    events/sec, one line. *)
+    events/sec, one line.  The top level carries the cross-subcommand
+    [trace_dropped] / [monitor_violations] pair (the latter defaults to 0
+    when no monitor was attached) under the same field names the [chaos]
+    and [overload] subcommands emit. *)
 
-val write_json : path:string -> result -> unit
+val write_json : ?monitor_violations:int -> path:string -> result -> unit
 
 val print_all : unit -> unit
 (** Human-readable rendering of a default-parameter run: per-window

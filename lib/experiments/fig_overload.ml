@@ -108,8 +108,8 @@ let pick_victim ~nodes ~seed ~rate_per_s ~duration alloc =
     probe.Simulator.utilization;
   !best
 
-let run_one ?monitor ~nodes ~seed ~rate_per_s ~duration ~slow_backend
-    ~slow_factor ~deadline_s ~defended alloc =
+let run_one ?telemetry ?monitor ~nodes ~seed ~rate_per_s ~duration
+    ~slow_backend ~slow_factor ~deadline_s ~defended alloc =
   let config = Simulator.homogeneous_config nodes in
   let faults =
     [
@@ -122,15 +122,16 @@ let run_one ?monitor ~nodes ~seed ~rate_per_s ~duration ~slow_backend
   in
   let rng = if defended then Some (Rng.create (seed + 1)) else None in
   let fo =
-    Simulator.run_open_with_faults ?rng ~resilience ?monitor config alloc
+    Simulator.run_open_with_faults ?rng ~resilience ?telemetry ?monitor config
+      alloc
       (requests ~seed ~rate_per_s ~duration)
       ~faults
   in
   stats_of fo
 
 let compare_at ?(nodes = 4) ?(seed = 11) ?(duration = 120.)
-    ?(slow_factor = 3.) ?(deadline_s = 1.) ?slow_backend ?monitor ~rate_per_s
-    () =
+    ?(slow_factor = 3.) ?(deadline_s = 1.) ?slow_backend ?telemetry ?monitor
+    ~rate_per_s () =
   let workload = Trace.workload_at ~hour:14. in
   let alloc =
     checked_alloc ~context:"Fig_overload.compare_at" ~k:1
@@ -142,8 +143,8 @@ let compare_at ?(nodes = 4) ?(seed = 11) ?(duration = 120.)
     | None -> pick_victim ~nodes ~seed ~rate_per_s ~duration alloc
   in
   let run ~defended =
-    run_one ?monitor ~nodes ~seed ~rate_per_s ~duration ~slow_backend
-      ~slow_factor ~deadline_s ~defended alloc
+    run_one ?telemetry ?monitor ~nodes ~seed ~rate_per_s ~duration
+      ~slow_backend ~slow_factor ~deadline_s ~defended alloc
   in
   ( slow_backend,
     {

@@ -70,6 +70,7 @@ val compare_at :
   ?slow_factor:float ->
   ?deadline_s:float ->
   ?slow_backend:int ->
+  ?telemetry:Cdbs_telemetry.Sink.t ->
   ?monitor:Cdbs_analysis.Monitor.t ->
   rate_per_s:float ->
   unit ->
@@ -77,8 +78,9 @@ val compare_at :
 (** One undefended/defended pair at the given offered rate.  Returns the
     slowed backend (by default the busiest backend of a clean probe run —
     the victim that hurts most) and the comparison.  Deterministic per
-    seed.  [monitor] observes both arms (the clean probe run is not
-    monitored — it uses the plain {!Cdbs_cluster.Simulator.run_open}). *)
+    seed.  [telemetry] and [monitor] observe both arms (the clean probe
+    run is not observed — it uses the plain
+    {!Cdbs_cluster.Simulator.run_open}). *)
 
 val sweep :
   ?nodes:int ->

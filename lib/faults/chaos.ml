@@ -7,6 +7,9 @@ type params = {
   slowdown_prob : float;
   slowdown_factor : float;
   max_concurrent_down : int option;
+  correlated_mtbf : float option;
+  partition_prob : float;
+  zones : int;
 }
 
 let default =
@@ -17,10 +20,22 @@ let default =
     slowdown_prob = 0.25;
     slowdown_factor = 3.;
     max_concurrent_down = None;
+    correlated_mtbf = None;
+    partition_prob = 0.5;
+    zones = 1;
   }
 
 (* One fault incident of a backend's renewal process. *)
 type incident = { b : int; start : float; stop : float; slow : bool }
+
+(* One correlated incident: a whole zone partitioned or crashed at once. *)
+type correlated = {
+  c_start : float;
+  c_stop : float;
+  zone : int;
+  members : int list;
+  is_partition : bool;
+}
 
 let generate ~rng ~num_backends p =
   if num_backends <= 0 then invalid_arg "Chaos.generate: num_backends <= 0";
@@ -30,6 +45,13 @@ let generate ~rng ~num_backends p =
     invalid_arg "Chaos.generate: slowdown_prob outside [0,1]";
   if p.slowdown_factor < 1. then
     invalid_arg "Chaos.generate: slowdown_factor < 1";
+  if p.partition_prob < 0. || p.partition_prob > 1. then
+    invalid_arg "Chaos.generate: partition_prob outside [0,1]";
+  if p.zones < 1 || p.zones > num_backends then
+    invalid_arg "Chaos.generate: zones outside [1, num_backends]";
+  (match p.correlated_mtbf with
+  | Some m when m <= 0. -> invalid_arg "Chaos.generate: correlated_mtbf <= 0"
+  | _ -> ());
   let incidents = ref [] in
   for b = 0 to num_backends - 1 do
     (* Per-backend generator split off the seed stream: adding a backend
@@ -43,12 +65,56 @@ let generate ~rng ~num_backends p =
       t := !t +. duration +. Rng.exponential g p.mtbf
     done
   done;
+  (* The correlated stream is split off AFTER the per-backend loop so
+     turning it on (or off) never perturbs the independent incidents:
+     [correlated_mtbf = None] reproduces legacy schedules byte for byte.
+     One global renewal process — correlated windows never overlap each
+     other; each one hits a whole zone (round-robin membership [b mod
+     zones], matching {!Cdbs_core.Topology.uniform}). *)
+  let correlated =
+    match p.correlated_mtbf with
+    | None -> []
+    | Some mtbf_c ->
+        let g = Rng.split rng in
+        let acc = ref [] in
+        let t = ref (Rng.exponential g mtbf_c) in
+        while !t < p.horizon do
+          let duration = max 1e-3 (Rng.exponential g p.mttr) in
+          let zone = Rng.int g p.zones in
+          let members =
+            List.filter
+              (fun b -> b mod p.zones = zone)
+              (List.init num_backends (fun b -> b))
+          in
+          let is_partition = Rng.float g 1. < p.partition_prob in
+          acc :=
+            { c_start = !t; c_stop = !t +. duration; zone; members;
+              is_partition }
+            :: !acc;
+          t := !t +. duration +. Rng.exponential g mtbf_c
+        done;
+        List.rev !acc
+  in
+  (* Independent incidents that intersect a correlated window on one of its
+     member backends are dropped: a crash inside a partition (or a recover
+     inside a zone outage) is unrepresentable — the simulator keeps one
+     partition-state per backend and {!Fault.validate} rejects the
+     overlap. *)
+  let conflicts i =
+    List.exists
+      (fun c ->
+        List.mem i.b c.members && i.start < c.c_stop && c.c_start < i.stop)
+      correlated
+  in
   let incidents =
-    List.stable_sort (fun a b -> Float.compare a.start b.start) !incidents
+    List.stable_sort
+      (fun a b -> Float.compare a.start b.start)
+      (List.filter (fun i -> not (conflicts i)) !incidents)
   in
   (* Enforce the concurrency cap in start order: an incident that would
      push the number of simultaneously crashed backends past the cap is
-     dropped together with its recover. *)
+     dropped together with its recover.  Correlated incidents bypass the
+     cap on purpose — probing beyond-k correlated loss is their job. *)
   let cap = match p.max_concurrent_down with Some c -> c | None -> max_int in
   let down = ref [] (* (backend, stop) of admitted crashes *) in
   let events =
@@ -67,4 +133,15 @@ let generate ~rng ~num_backends p =
         end)
       incidents
   in
-  Fault.sort events
+  let correlated_events =
+    List.map
+      (fun c ->
+        if c.is_partition then
+          Fault.partition ~at:c.c_start ~backends:c.members
+            ~duration:(c.c_stop -. c.c_start)
+        else
+          Fault.zone_outage ~at:c.c_start ~zone:c.zone
+            ~duration:(c.c_stop -. c.c_start))
+      correlated
+  in
+  Fault.sort (events @ correlated_events)

@@ -12,7 +12,20 @@
     counted — a slow backend still serves).  Setting it to the allocation's
     k-safety degree keeps every run within the paper's availability
     guarantee (Appendix C); leaving it unbounded probes behaviour beyond
-    the guarantee. *)
+    the guarantee.
+
+    {b Correlated failures.}  When [correlated_mtbf] is [Some m] a second,
+    global renewal process (mean up-time [m], duration mean [mttr]) injects
+    whole-zone incidents: each one picks a zone uniformly out of [zones]
+    (round-robin membership [b mod zones], matching
+    {!Cdbs_core.Topology.uniform}) and is a network [Partition] of that
+    zone's backends with probability [partition_prob], a [ZoneOutage]
+    otherwise.  Independent incidents that intersect a correlated window on
+    an affected backend are dropped (the overlap is unrepresentable), and
+    correlated incidents bypass [max_concurrent_down] — probing beyond-k
+    correlated loss is their purpose.  The correlated stream draws from its
+    own split of the seed, so [correlated_mtbf = None] (the default)
+    reproduces legacy schedules byte for byte. *)
 
 type params = {
   mtbf : float;  (** mean up-time between faults per backend, seconds *)
@@ -21,11 +34,17 @@ type params = {
   slowdown_prob : float;  (** chance a fault is a slowdown, not a crash *)
   slowdown_factor : float;  (** service-time inflation of slowdowns *)
   max_concurrent_down : int option;
+  correlated_mtbf : float option;
+      (** mean time between whole-zone incidents; [None] disables them *)
+  partition_prob : float;
+      (** chance a correlated incident is a partition, not a zone outage *)
+  zones : int;  (** fault domains, round-robin membership [b mod zones] *)
 }
 
 val default : params
 (** MTBF 120 s, MTTR 25 s, horizon 600 s, 25 % slowdowns at 3x, no
-    concurrency cap. *)
+    concurrency cap, no correlated failures (1 zone, 50 % partitions when
+    enabled). *)
 
 val generate :
   rng:Cdbs_util.Rng.t -> num_backends:int -> params -> Fault.schedule

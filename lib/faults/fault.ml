@@ -2,6 +2,8 @@ type event =
   | Crash of int
   | Recover of int
   | Slowdown of { backend : int; factor : float; duration : float }
+  | Partition of { backends : int list; duration : float }
+  | ZoneOutage of { zone : int; duration : float }
 
 type timed = { at : float; event : event }
 type schedule = timed list
@@ -14,8 +16,20 @@ let slowdown ~at ~backend ~factor ~duration =
   if duration <= 0. then invalid_arg "Fault.slowdown: duration <= 0";
   { at; event = Slowdown { backend; factor; duration } }
 
-let backend = function
-  | Crash b | Recover b | Slowdown { backend = b; _ } -> b
+let partition ~at ~backends ~duration =
+  if backends = [] then invalid_arg "Fault.partition: no backends";
+  if duration <= 0. then invalid_arg "Fault.partition: duration <= 0";
+  { at; event = Partition { backends = List.sort_uniq compare backends; duration } }
+
+let zone_outage ~at ~zone ~duration =
+  if zone < 0 then invalid_arg "Fault.zone_outage: zone < 0";
+  if duration <= 0. then invalid_arg "Fault.zone_outage: duration <= 0";
+  { at; event = ZoneOutage { zone; duration } }
+
+let backends = function
+  | Crash b | Recover b | Slowdown { backend = b; _ } -> [ b ]
+  | Partition { backends = bs; _ } -> bs
+  | ZoneOutage _ -> []
 
 let sort schedule =
   List.stable_sort (fun a b -> Float.compare a.at b.at) schedule
@@ -23,33 +37,91 @@ let sort schedule =
 let of_failures failures =
   sort (List.map (fun (at, b) -> crash ~at b) failures)
 
-let validate ~num_backends schedule =
-  let up = Array.make (max 1 num_backends) true in
-  let slow_until = Array.make (max 1 num_backends) neg_infinity in
+let validate ?zone_of ~num_backends schedule =
+  let n = max 1 num_backends in
+  let up = Array.make n true in
+  let slow_until = Array.make n neg_infinity in
+  (* A backend inside an active partition (or zone-outage) window is
+     unreachable: further events targeting it during the window would race
+     the heal in ways the simulator's single partition-state per backend
+     cannot represent, so they are rejected outright. *)
+  let cut_until = Array.make n neg_infinity in
+  let members_of_zone z =
+    match zone_of with
+    | None -> None
+    | Some zs ->
+        let acc = ref [] in
+        Array.iteri (fun b z' -> if z' = z then acc := b :: !acc) zs;
+        Some (List.rev !acc)
+  in
+  let check_backend at b =
+    if b < 0 || b >= num_backends then
+      Error
+        (Printf.sprintf "event at %g targets backend %d of %d" at b
+           num_backends)
+    else Ok ()
+  in
+  let check_reachable what at b =
+    if at < cut_until.(b) then
+      Error
+        (Printf.sprintf
+           "%s at %g: backend %d is partitioned until %g (overlapping \
+            windows)"
+           what at b cut_until.(b))
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let rec each f = function
+    | [] -> Ok ()
+    | x :: rest ->
+        let* () = f x in
+        each f rest
+  in
+  let cut what at ~duration bs =
+    let* () =
+      if duration <= 0. then
+        Error (Printf.sprintf "%s at %g: duration %g <= 0" what at duration)
+      else Ok ()
+    in
+    let* () =
+      each
+        (fun b ->
+          let* () = check_backend at b in
+          let* () = check_reachable what at b in
+          if not up.(b) then
+            Error
+              (Printf.sprintf "%s at %g: backend %d is already down" what at b)
+          else Ok ())
+        bs
+    in
+    List.iter (fun b -> cut_until.(b) <- at +. duration) bs;
+    Ok ()
+  in
   let rec go = function
     | [] -> Ok ()
     | { at; event } :: rest -> (
-        let b = backend event in
         if not (at >= 0.) then
           Error
-            (Printf.sprintf
-               "event on backend %d at %g: times must be non-negative" b at)
-        else if b < 0 || b >= num_backends then
-          Error (Printf.sprintf "event at %g targets backend %d of %d" at b
-                   num_backends)
+            (Printf.sprintf "event at %g: times must be non-negative" at)
         else
           match event with
-          | Crash _ ->
+          | Crash b ->
+              let* () = check_backend at b in
+              let* () = check_reachable "crash" at b in
               if not up.(b) then
                 Error (Printf.sprintf "crash at %g: backend %d already down"
                          at b)
               else begin up.(b) <- false; go rest end
-          | Recover _ ->
+          | Recover b ->
+              let* () = check_backend at b in
+              let* () = check_reachable "recover" at b in
               if up.(b) then
                 Error (Printf.sprintf "recover at %g: backend %d is not down"
                          at b)
               else begin up.(b) <- true; go rest end
-          | Slowdown { factor; duration; _ } ->
+          | Slowdown { backend = b; factor; duration } ->
+              let* () = check_backend at b in
+              let* () = check_reachable "slowdown" at b in
               if factor < 1. then
                 Error (Printf.sprintf "slowdown at %g: factor %g < 1" at factor)
               else if duration <= 0. then
@@ -61,7 +133,33 @@ let validate ~num_backends schedule =
                      "slowdown at %g: backend %d already slowed until %g \
                       (overlapping windows)"
                      at b slow_until.(b))
-              else begin slow_until.(b) <- at +. duration; go rest end)
+              else begin slow_until.(b) <- at +. duration; go rest end
+          | Partition { backends = bs; duration } ->
+              let* () =
+                if bs = [] then
+                  Error (Printf.sprintf "partition at %g: no backends" at)
+                else Ok ()
+              in
+              let* () = cut "partition" at ~duration bs in
+              go rest
+          | ZoneOutage { zone; duration } -> (
+              if zone < 0 then
+                Error (Printf.sprintf "zone outage at %g: zone %d < 0" at zone)
+              else
+                match members_of_zone zone with
+                | None ->
+                    Error
+                      (Printf.sprintf
+                         "zone outage at %g: schedule has zone faults but no \
+                          topology was supplied (pass ~zone_of)"
+                         at)
+                | Some [] ->
+                    Error
+                      (Printf.sprintf "zone outage at %g: zone %d is empty" at
+                         zone)
+                | Some bs ->
+                    let* () = cut "zone outage" at ~duration bs in
+                    go rest))
   in
   go (sort schedule)
 
@@ -70,6 +168,13 @@ let pp_event ppf = function
   | Recover b -> Fmt.pf ppf "recover B%d" (b + 1)
   | Slowdown { backend; factor; duration } ->
       Fmt.pf ppf "slowdown B%d x%.2f for %.1fs" (backend + 1) factor duration
+  | Partition { backends; duration } ->
+      Fmt.pf ppf "partition {%a} for %.1fs"
+        Fmt.(list ~sep:(any ",") (fmt "B%d"))
+        (List.map (fun b -> b + 1) backends)
+        duration
+  | ZoneOutage { zone; duration } ->
+      Fmt.pf ppf "zone outage z%d for %.1fs" zone duration
 
 let pp_timed ppf { at; event } = Fmt.pf ppf "%8.2fs %a" at pp_event event
 

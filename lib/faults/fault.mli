@@ -14,6 +14,18 @@
     - [Slowdown]: backend [b] serves at [factor] times its normal service
       time for [duration] seconds (a degraded-but-alive node: overloaded
       disk, failing NIC, noisy neighbour).
+    - [Partition]: the listed backends are cut off the network for
+      [duration] seconds while their processes keep running.  Unlike a
+      crash, in-flight reads on them {e time out} before failing over
+      (slow-failure, not fast-failure), and on heal each backend is fenced
+      behind a fresh monotonic epoch: it replays missed deltas before it
+      may serve reads again, so a stale minority can never answer after
+      the majority moved on (split-brain prevention).
+    - [ZoneOutage]: every backend of a fault domain crashes at once and
+      recovers together [duration] seconds later — the correlated-failure
+      mode a {!Cdbs_core.Topology}-aware allocation is built to survive.
+      Requires a topology ([validate ~zone_of], and the simulator's
+      [?topology]) to resolve the zone to its member backends.
 
     Schedules are plain data so they can be generated ({!Chaos}), stored,
     printed and validated independently of the simulator executing them. *)
@@ -22,6 +34,9 @@ type event =
   | Crash of int  (** backend index *)
   | Recover of int
   | Slowdown of { backend : int; factor : float; duration : float }
+  | Partition of { backends : int list; duration : float }
+      (** sorted, de-duplicated backend indices *)
+  | ZoneOutage of { zone : int; duration : float }
 
 type timed = { at : float; event : event }
 
@@ -35,8 +50,17 @@ val slowdown :
   at:float -> backend:int -> factor:float -> duration:float -> timed
 (** @raise Invalid_argument when [factor < 1.] or [duration <= 0.]. *)
 
-val backend : event -> int
-(** The backend an event acts on. *)
+val partition : at:float -> backends:int list -> duration:float -> timed
+(** Backends are sorted and de-duplicated.
+    @raise Invalid_argument on an empty list or [duration <= 0.]. *)
+
+val zone_outage : at:float -> zone:int -> duration:float -> timed
+(** @raise Invalid_argument when [zone < 0] or [duration <= 0.]. *)
+
+val backends : event -> int list
+(** The backends an event acts on directly.  [ZoneOutage] returns [[]]:
+    its membership depends on the topology, which the event does not
+    carry (resolve via {!Cdbs_core.Topology.backends_in}). *)
 
 val sort : schedule -> schedule
 (** Stable sort by timestamp ([Float.compare], not polymorphic compare). *)
@@ -46,15 +70,20 @@ val of_failures : (float * int) list -> schedule
     crash-only schedule (the {!Simulator.run_open_with_failures}
     compatibility shape). *)
 
-val validate : num_backends:int -> schedule -> (unit, string) result
+val validate :
+  ?zone_of:int array -> num_backends:int -> schedule -> (unit, string) result
 (** Structural checks: event times non-negative (and not NaN), backend
     indices in range, slowdown parameters sane,
     per-backend crash/recover alternation (no crash of a crashed backend,
-    no recover of a running one), and no overlapping [Slowdown] windows on
-    the same backend (the simulator's slow-state is a single
-    factor/until pair per backend, so a second window starting inside an
-    active one would silently overwrite it; a window may start exactly
-    when the previous one ends). *)
+    no recover of a running one), no overlapping [Slowdown] windows on
+    the same backend, and — for the correlated kinds — no event targeting
+    a backend inside an active [Partition]/[ZoneOutage] window (the
+    simulator keeps a single partition-state per backend, so overlapping
+    cuts would silently merge; a window may start exactly when the
+    previous one ends), no partitioning of an already-down backend, and
+    no [ZoneOutage] without [?zone_of] (the zone-to-backend map, e.g.
+    a copy of [Topology]'s assignment; zone outages cannot be resolved —
+    or simulated — without one). *)
 
 val pp_event : event Fmt.t
 val pp_timed : timed Fmt.t

@@ -4,6 +4,7 @@ type policy = {
   backoff_base : float;
   backoff_multiplier : float;
   jitter : float;
+  max_backoff : float;
 }
 
 let default =
@@ -13,6 +14,7 @@ let default =
     backoff_base = 0.05;
     backoff_multiplier = 2.;
     jitter = 0.2;
+    max_backoff = infinity;
   }
 
 let no_retry = { default with max_retries = 0 }
@@ -20,7 +22,7 @@ let no_retry = { default with max_retries = 0 }
 let make ?(max_retries = default.max_retries) ?(timeout = default.timeout)
     ?(backoff_base = default.backoff_base)
     ?(backoff_multiplier = default.backoff_multiplier)
-    ?(jitter = default.jitter) () =
+    ?(jitter = default.jitter) ?(max_backoff = default.max_backoff) () =
   if max_retries < 0 then invalid_arg "Retry.make: negative max_retries";
   if timeout <= 0. then invalid_arg "Retry.make: timeout <= 0";
   if backoff_base <= 0. then invalid_arg "Retry.make: backoff_base <= 0";
@@ -28,17 +30,24 @@ let make ?(max_retries = default.max_retries) ?(timeout = default.timeout)
     invalid_arg "Retry.make: backoff_multiplier < 1";
   if jitter < 0. || jitter >= 1. then
     invalid_arg "Retry.make: jitter must be in [0, 1)";
-  { max_retries; timeout; backoff_base; backoff_multiplier; jitter }
+  if not (max_backoff > 0.) then invalid_arg "Retry.make: max_backoff <= 0";
+  { max_retries; timeout; backoff_base; backoff_multiplier; jitter;
+    max_backoff }
 
 let backoff ?rng p ~attempt =
   if attempt < 1 then invalid_arg "Retry.backoff: attempt < 1";
   let d = p.backoff_base *. (p.backoff_multiplier ** float_of_int (attempt - 1)) in
-  match rng with
-  | Some g when p.jitter > 0. ->
-      (* Symmetric jitter in [1 - jitter, 1 + jitter) desynchronises the
-         retry storm that follows a crash. *)
-      d *. (1. -. p.jitter +. Cdbs_util.Rng.float g (2. *. p.jitter))
-  | _ -> d
+  let d =
+    match rng with
+    | Some g when p.jitter > 0. ->
+        (* Symmetric jitter in [1 - jitter, 1 + jitter) desynchronises the
+           retry storm that follows a crash. *)
+        d *. (1. -. p.jitter +. Cdbs_util.Rng.float g (2. *. p.jitter))
+    | _ -> d
+  in
+  (* The cap is applied after jitter so it is hard: one late backoff step
+     can never overshoot whatever deadline budget remains. *)
+  Float.min d p.max_backoff
 
 let gives_up p ~attempt = attempt > p.max_retries
 

@@ -20,11 +20,18 @@ type policy = {
           to {!backoff}: the delay is scaled by a uniform factor in
           [1 - jitter, 1 + jitter) so synchronized retries after a crash
           don't re-spike the survivor's queue *)
+  max_backoff : float;
+      (** hard cap on a single backoff delay, applied {e after} jitter;
+          [infinity] (the default) disables it.  With end-to-end deadlines
+          active, set this at or below the smallest budget you expect to
+          retry under, so one late exponential step cannot overshoot the
+          remaining budget and waste the request's final attempt. *)
 }
 
 val default : policy
 (** 3 retries, 30 s timeout, 50 ms base backoff doubling per attempt,
-    20 % jitter (effective only when an [Rng] is supplied). *)
+    20 % jitter (effective only when an [Rng] is supplied), no backoff
+    cap. *)
 
 val no_retry : policy
 (** Give up immediately: crash-orphaned work counts as an error. *)
@@ -35,18 +42,20 @@ val make :
   ?backoff_base:float ->
   ?backoff_multiplier:float ->
   ?jitter:float ->
+  ?max_backoff:float ->
   unit ->
   policy
 (** {!default} with overrides.  @raise Invalid_argument on a negative
-    retry count, non-positive timeout/base, multiplier < 1 or jitter
-    outside [0, 1). *)
+    retry count, non-positive timeout/base/max_backoff, multiplier < 1 or
+    jitter outside [0, 1). *)
 
 val backoff : ?rng:Cdbs_util.Rng.t -> policy -> attempt:int -> float
 (** Delay inserted before retry [attempt] (1-based):
     [backoff_base *. backoff_multiplier ^ (attempt - 1)].  When [rng] is
     given and [jitter > 0], the delay is scaled by a deterministic uniform
     factor in [1 - jitter, 1 + jitter); without [rng] the delay is exact,
-    preserving legacy behaviour. *)
+    preserving legacy behaviour.  The result never exceeds
+    [max_backoff] — the cap clamps the jittered value. *)
 
 val gives_up : policy -> attempt:int -> bool
 (** Whether retry [attempt] exceeds the policy's budget. *)

@@ -24,12 +24,16 @@ fi
 dune exec bin/cdbs_cli.exe -- check -w trace --strict
 dune exec bin/cdbs_cli.exe -- check -w migration --strict
 
+# Zone-annotated scenario: a domain-aware k=1 allocation on a 2-rack
+# topology must pass the spread checks (ALC013/ALC014) warning-free.
+dune exec bin/cdbs_cli.exe -- check -w zones --strict
+
 # Protocol sanitizer: a monitored chaos run with the full defense stack
 # must produce zero trace-protocol violations, and a deliberately
 # corrupted event stream must be rejected for every injection kind.
 dune exec bin/cdbs_cli.exe -- verify-trace --seed 7 -n 4 -k 1 \
   --duration 300 --rate 10 --json --strict
-for inj in breaker-hop rejoin deadline down-serve; do
+for inj in breaker-hop rejoin deadline down-serve split-brain; do
   if dune exec bin/cdbs_cli.exe -- verify-trace --inject "$inj" >/dev/null 2>&1; then
     echo "error: monitor accepted a corrupted trace ($inj)" >&2
     exit 1
@@ -40,6 +44,14 @@ done
 # keep availability at 1.0 (the run exits non-zero below the threshold).
 dune exec bin/cdbs_cli.exe -- chaos --seed 7 -n 4 -k 1 --max-down 1 \
   --duration 300 --rate 10 --json --min-availability 1.0
+
+# Partition smoke: the correlated stream injects network partitions and
+# zone outages against a fault-domain-aware allocation; healed backends
+# come back fenced until caught up, the monitor must stay clean and the
+# spread placement must hold availability through the incidents.
+dune exec bin/cdbs_cli.exe -- chaos --seed 5 -n 6 -k 1 --mtbf 600 \
+  --zones 3 --correlated-mtbf 80 --partition-prob 1 --duration 300 \
+  --rate 10 --monitor --json --min-availability 0.99
 
 # Overload smoke: with one backend gray-failing (3x slower), the defended
 # run must beat the undefended one (the built-in acceptance checks), keep

@@ -24,7 +24,7 @@ let test_fault_sort_and_validate () =
   Alcotest.(check (list (float 1e-9)))
     "sorted by time, stable at ties" [ 3.; 3.; 9. ]
     (List.map (fun t -> t.Fault.at) sorted);
-  (match List.map (fun t -> Fault.backend t.Fault.event) sorted with
+  (match List.concat_map (fun t -> Fault.backends t.Fault.event) sorted with
   | [ 0; 1; 0 ] -> ()
   | _ -> Alcotest.fail "tie order not stable");
   Alcotest.(check bool) "valid alternation" true
@@ -76,7 +76,7 @@ let test_chaos_deterministic () =
       (match t.Fault.event with
       | Fault.Crash b -> Hashtbl.replace down b ()
       | Fault.Recover b -> Hashtbl.remove down b
-      | Fault.Slowdown _ -> ());
+      | Fault.Slowdown _ | Fault.Partition _ | Fault.ZoneOutage _ -> ());
       if Hashtbl.length down > !max_down then
         max_down := Hashtbl.length down)
     sched;

@@ -24,4 +24,5 @@ let () =
       ("paper-examples", Test_paper_examples.suite);
       ("resilience", Test_resilience.suite);
       ("telemetry", Test_telemetry.suite);
+      ("partition", Test_partition.suite);
     ]
