@@ -1287,9 +1287,25 @@ let day_cmd =
             "Attach the protocol monitor to the day's event stream and exit \
              non-zero on any temporal-invariant violation.")
   in
+  let trace_capacity_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "trace-capacity" ] ~docv:"N"
+          ~doc:
+            "Telemetry trace ring capacity in events (default from the \
+             preset). The ring evicts oldest-first, so a capacity below the \
+             run's event volume drops early events from the retained trace; \
+             raise it to keep the full day for $(b,--monitor) or offline \
+             analysis.")
+  in
   let run smoke seed scale window_minutes out json min_avail max_p99 max_shed
-      with_monitor =
+      with_monitor trace_capacity =
     let base = if smoke then Fd.smoke else Fd.default in
+    (match trace_capacity with
+    | Some n when n <= 0 ->
+        Fmt.epr "day: --trace-capacity must be positive@.";
+        exit 2
+    | _ -> ());
     let params =
       {
         base with
@@ -1297,6 +1313,8 @@ let day_cmd =
         scale = Option.value scale ~default:base.Fd.scale;
         window_minutes =
           Option.value window_minutes ~default:base.Fd.window_minutes;
+        trace_capacity =
+          Option.value trace_capacity ~default:base.Fd.trace_capacity;
       }
     in
     let monitor =
@@ -1353,7 +1371,209 @@ let day_cmd =
           with an SLO report and CI threshold gates")
     Term.(
       const run $ smoke_arg $ seed_arg $ scale_arg $ window_arg $ out_arg
-      $ json_arg $ min_avail_arg $ max_p99_arg $ max_shed_arg $ monitor_arg)
+      $ json_arg $ min_avail_arg $ max_p99_arg $ max_shed_arg $ monitor_arg
+      $ trace_capacity_arg)
+
+(* ------------------------------------------------------------------ *)
+(* alloc — massive-instance allocator benchmark                        *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_cmd =
+  let module Fa = Cdbs_experiments.Fig_alloc in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Run the CI preset (100k fragments x 50 backends) instead of \
+             the full 10^6-fragment benchmark.")
+  in
+  let fragments_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fragments" ] ~docv:"N" ~doc:"Fragment count.")
+  in
+  let reads_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "reads" ] ~docv:"N" ~doc:"Read query-class count.")
+  in
+  let updates_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "updates" ] ~docv:"N" ~doc:"Update query-class count.")
+  in
+  let backends_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "n"; "backends" ] ~docv:"N" ~doc:"Backend count.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Random seed for the instance, the deltas and the memetic.")
+  in
+  let strategy_conv = Arg.enum [ ("greedy", Fa.Greedy); ("memetic", Fa.Memetic) ] in
+  let strategy_arg =
+    Arg.(
+      value & opt strategy_conv Fa.Greedy
+      & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "$(b,greedy) runs the dense greedy only; $(b,memetic) follows \
+             it with the Domain-parallel island optimizer.")
+  in
+  let islands_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "islands" ] ~docv:"N" ~doc:"Memetic island count.")
+  in
+  let generations_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "generations" ] ~docv:"N"
+          ~doc:"Memetic generations per island.")
+  in
+  let population_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "population" ] ~docv:"N" ~doc:"Individuals per island.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Domains running the islands (default: all available).  The \
+             result is bit-identical for a fixed seed and island count \
+             whatever this is set to.")
+  in
+  let no_repair_arg =
+    Arg.(
+      value & flag
+      & info [ "no-repair" ]
+          ~doc:"Skip the incremental-repair vs. re-solve comparison.")
+  in
+  let delta_frac_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "delta-frac" ] ~docv:"FRAC"
+          ~doc:
+            "Fraction of query classes the random workload delta touches \
+             (default 0.01).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Cap on optional rebalance fragment copies during repair \
+             (correctness moves are never dropped).")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit non-zero if the dense checker finds any error in the \
+             produced or repaired allocation.")
+  in
+  let max_seconds_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "max-seconds" ] ~docv:"S"
+          ~doc:"Exit non-zero if the greedy pass takes longer than $(docv).")
+  in
+  let max_moved_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "max-moved-frac" ] ~docv:"FRAC"
+          ~doc:
+            "Exit non-zero if repair moves more than $(docv) of the \
+             fragment count — the O(delta) gate.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the BENCH_alloc.json payload on stdout instead of text.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Also write the BENCH_alloc.json payload to $(docv).")
+  in
+  let run smoke fragments reads updates backends seed strategy islands
+      generations population domains no_repair delta_frac budget check
+      max_seconds max_moved json out =
+    let base = if smoke then Fa.smoke else Fa.default in
+    let params =
+      {
+        base with
+        Fa.fragments = Option.value fragments ~default:base.Fa.fragments;
+        reads = Option.value reads ~default:base.Fa.reads;
+        updates = Option.value updates ~default:base.Fa.updates;
+        backends = Option.value backends ~default:base.Fa.backends;
+        seed = Option.value seed ~default:base.Fa.seed;
+        strategy;
+        islands = Option.value islands ~default:base.Fa.islands;
+        generations = Option.value generations ~default:base.Fa.generations;
+        population = Option.value population ~default:base.Fa.population;
+        domains = (match domains with Some _ -> domains | None -> base.Fa.domains);
+        repair = base.Fa.repair && not no_repair;
+        delta_frac = Option.value delta_frac ~default:base.Fa.delta_frac;
+        budget = (match budget with Some _ -> budget | None -> base.Fa.budget);
+      }
+    in
+    if params.Fa.fragments <= 0 || params.Fa.backends <= 0 then begin
+      Fmt.epr "alloc: --fragments and --backends must be positive@.";
+      exit 2
+    end;
+    let r = Fa.run ~params () in
+    if json then print_endline (Fa.to_json r)
+    else Fmt.pr "%a" Fa.pp_result r;
+    (match out with
+    | Some path ->
+        Fa.write_json ~path r;
+        if not json then Fmt.pr "wrote %s@." path
+    | None -> ());
+    let fail = ref false in
+    let errors =
+      r.Fa.check_errors
+      + match r.Fa.repair with Some rp -> rp.Fa.repair_errors | None -> 0
+    in
+    if check && errors > 0 then begin
+      Fmt.epr "alloc: dense checker found %d error%s@." errors
+        (if errors = 1 then "" else "s");
+      fail := true
+    end;
+    (match max_seconds with
+    | Some s when r.Fa.greedy_s > s ->
+        Fmt.epr "alloc: greedy took %.2f s > %.2f s@." r.Fa.greedy_s s;
+        fail := true
+    | _ -> ());
+    (match (max_moved, r.Fa.repair) with
+    | Some frac, Some rp when rp.Fa.moved_frac > frac ->
+        Fmt.epr "alloc: repair moved %.4f > %.4f of fragments@."
+          rp.Fa.moved_frac frac;
+        fail := true
+    | _ -> ());
+    if !fail then exit 1
+  in
+  Cmd.v
+    (Cmd.info "alloc"
+       ~doc:
+         "Run the massive-instance allocator benchmark: dense greedy at \
+          10^5-10^6 fragments, optional Domain-parallel memetic islands, \
+          and O(delta) incremental repair timed against a from-scratch \
+          re-solve, with checker and wall-clock gates for CI")
+    Term.(
+      const run $ smoke_arg $ fragments_arg $ reads_arg $ updates_arg
+      $ backends_arg $ seed_arg $ strategy_arg $ islands_arg
+      $ generations_arg $ population_arg $ domains_arg $ no_repair_arg
+      $ delta_frac_arg $ budget_arg $ check_arg $ max_seconds_arg
+      $ max_moved_arg $ json_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify-trace — the protocol sanitizer                                *)
@@ -1674,5 +1894,5 @@ let () =
           [
             classify_cmd; allocate_cmd; simulate_cmd; experiment_cmd;
             migrate_cmd; check_cmd; chaos_cmd; overload_cmd; day_cmd;
-            verify_trace_cmd; journalgen_cmd;
+            alloc_cmd; verify_trace_cmd; journalgen_cmd;
           ]))

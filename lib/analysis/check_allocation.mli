@@ -33,7 +33,9 @@
                          single zone outage takes out every copy (only
                          with [~topology] and [~k > 0])
     - [ALC014] (error)   the given [topology] does not cover exactly the
-                         allocation's backends *)
+                         allocation's backends
+    - [ALC015] (warning) diagnostic overflow: the dense-path checker
+                         capped a code's findings (first 100 shown) *)
 
 open Cdbs_core
 
@@ -48,6 +50,19 @@ val check :
     [storage_limit_mb] (per backend, in MB) enable the corresponding bound
     checks when given.  [topology] enables the domain-spread checks:
     ALC014 always, ALC013 when [k > 0]. *)
+
+val check_dense :
+  ?k:int ->
+  ?max_scale:float ->
+  ?topology:Topology.t ->
+  Dense.t ->
+  Diagnostic.t list
+(** The Eq. 8–11 / 14–15 scans ported to the {!Cdbs_core.Dense} views:
+    indexed passes over the assignment matrix and held bitsets, no set
+    operations, so a 10⁵+-fragment allocation verifies in milliseconds.
+    Retired backends and tombstoned classes are skipped.  Per-code output
+    is capped at 100 findings (ALC015 reports the overflow); ALC008/ALC010
+    have no dense counterpart yet. *)
 
 val check_exn :
   ?k:int -> ?topology:Topology.t -> context:string -> Allocation.t -> unit

@@ -103,6 +103,8 @@ let eligible_for_read ?healthy t c =
          suspect backend beats refusing the read outright. *)
       match List.filter ok base with [] -> base | filtered -> filtered)
 
+let find_class t id = Hashtbl.find_opt t.class_by_id id
+
 let targets_for_update t (c : Query_class.t) =
   List.filter
     (fun b ->
@@ -130,6 +132,55 @@ let is_stale t ~backend = t.stale.(backend)
 let pending t ~backend ~now = max 0. (t.free_at.(backend) -. now)
 let free_at t ~backend = t.free_at.(backend)
 let book t ~backend ~finish = t.free_at.(backend) <- finish
+
+(* Allocation-free equivalent of [eligible_for_read] + least-pending fold:
+   one pass decides which base set applies (assigned vs holders) and
+   whether the health filter leaves anyone (fail open if not), a second
+   pass takes the first minimum-pending candidate.  [exclude] drops one
+   backend from the final selection only — the base-set and fail-open
+   decisions still see it, mirroring how the hedge path filtered the
+   candidate list after [eligible_for_read]. *)
+let best_read_target ?healthy ?(exclude = -1) t ~now (c : Query_class.t) =
+  let n = num_nodes t in
+  let in_base =
+    if t.dynamic then fun b -> read_capable t b && serves t b c
+    else begin
+      let any_assigned = ref false in
+      for b = 0 to n - 1 do
+        if
+          (not !any_assigned)
+          && read_capable t b
+          && Allocation.get_assign t.alloc b c > 0.
+        then any_assigned := true
+      done;
+      if !any_assigned then fun b ->
+        read_capable t b && Allocation.get_assign t.alloc b c > 0.
+      else fun b -> read_capable t b && Allocation.holds t.alloc b c
+    end
+  in
+  let candidate =
+    match healthy with
+    | None -> in_base
+    | Some ok ->
+        let any_healthy = ref false in
+        for b = 0 to n - 1 do
+          if (not !any_healthy) && in_base b && ok b then any_healthy := true
+        done;
+        (* Fail open: when every replica's breaker is open, serving from a
+           suspect backend beats refusing the read outright. *)
+        if !any_healthy then fun b -> in_base b && ok b else in_base
+  in
+  let best = ref (-1) and best_pending = ref infinity in
+  for b = 0 to n - 1 do
+    if b <> exclude && candidate b then begin
+      let p = pending t ~backend:b ~now in
+      if !best < 0 || p < !best_pending then begin
+        best := b;
+        best_pending := p
+      end
+    end
+  done;
+  if !best < 0 then None else Some !best
 
 let route ?healthy t ~now (r : Request.t) =
   match Hashtbl.find_opt t.class_by_id r.Request.class_id with

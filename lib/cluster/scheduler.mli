@@ -43,6 +43,24 @@ val eligible_for_read :
 
 val targets_for_update : t -> Cdbs_core.Query_class.t -> int list
 
+val find_class : t -> string -> Cdbs_core.Query_class.t option
+(** Indexed class lookup (the table {!route} itself routes through) —
+    callers on a per-request hot path use this instead of scanning the
+    allocation's class array. *)
+
+val best_read_target :
+  ?healthy:(int -> bool) ->
+  ?exclude:int ->
+  t ->
+  now:float ->
+  Cdbs_core.Query_class.t ->
+  int option
+(** The backend {!route} would pick for a read of this class — same base
+    set, fail-open health filter and first-minimum-pending tie-break —
+    computed in two indexed passes with no intermediate lists.  [exclude]
+    removes one backend from the final selection only (for hedged second
+    dispatches); the fail-open decision still counts it. *)
+
 val route :
   ?healthy:(int -> bool) -> t -> now:float -> Request.t -> (int list, string) result
 (** Backends that must process the request (singleton for reads).  Pending

@@ -838,60 +838,73 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
       incr aborted
     end
     else
-      let r = Request.read ~arrival:now ?cost_mb:rc.rc_cost_mb rc.rc_class in
-      match Scheduler.route ?healthy:(healthy_at now) sched ~now r with
-      | Error _ | Ok [] -> schedule_retry ~now rc
-      | Ok (b :: _) -> (
-          let mb = class_mb alloc r in
-          let book () =
-            let ((_, finish, service) as q) =
-              quote ~now ~mb ~replicas:1 ~is_update:false b ~factor:1.
-            in
-            ignore (commit ~mb ~kind:(Bk_read rc) b q);
-            breaker_success ~now b ~latency:(finish -. now);
-            if deadline_on && finish > rc.rc_deadline then begin
-              (* Without admission control this work is booked anyway and
-                 wasted: the client is gone when it completes. *)
-              incr timeouts;
-              incr aborted;
-              wasted_work := !wasted_work +. service
-            end
-            else begin
-              Hashtbl.replace results rc.rc_uid
-                (rc.rc_arrival, finish -. rc.rc_arrival);
-              maybe_hedge ~now rc b finish
-            end
-          in
-          match admission with
-          | None -> book ()
-          | Some pol ->
-              let _, finish, _ =
+      (* Route without materializing a Request or candidate lists: class
+         lookup is indexed and target selection is two array scans. *)
+      match Scheduler.find_class sched rc.rc_class with
+      | None -> schedule_retry ~now rc
+      | Some c -> (
+          match
+            Scheduler.best_read_target ?healthy:(healthy_at now) sched ~now c
+          with
+          | None -> schedule_retry ~now rc
+          | Some b -> (
+              let mb =
+                match rc.rc_cost_mb with
+                | Some mb -> mb
+                | None -> Query_class.size c
+              in
+              (* The quote is pure, so an admission check and the booking it
+                 admits share one; only a shed (which reshapes the queue)
+                 forces a re-quote. *)
+              let book q =
+                let _, finish, service = q in
+                ignore (commit ~mb ~kind:(Bk_read rc) b q);
+                breaker_success ~now b ~latency:(finish -. now);
+                if deadline_on && finish > rc.rc_deadline then begin
+                  (* Without admission control this work is booked anyway and
+                     wasted: the client is gone when it completes. *)
+                  incr timeouts;
+                  incr aborted;
+                  wasted_work := !wasted_work +. service
+                end
+                else begin
+                  Hashtbl.replace results rc.rc_uid
+                    (rc.rc_arrival, finish -. rc.rc_arrival);
+                  maybe_hedge ~now rc b finish
+                end
+              in
+              let fresh_quote () =
                 quote ~now ~mb ~replicas:1 ~is_update:false b ~factor:1.
               in
-              if deadline_on && finish > rc.rc_deadline then begin
-                (* Deadline-aware admission: refuse up front instead of
-                   serving work whose client will have abandoned it. *)
-                incr timeouts;
-                incr aborted
-              end
-              else
-                let depth = depth_of b ~now in
-                let pending = Scheduler.pending sched ~backend:b ~now in
-                (match
-                   Resilience.Admission.decide pol ~depth ~pending
-                     ~is_update:false
-                 with
-                | Resilience.Admission.Admit -> book ()
-                | Resilience.Admission.Shed ->
-                    if shed_oldest_queued b ~now then book ()
-                    else begin
-                      (* Queue holds no evictable read: shed the newcomer. *)
-                      incr shed;
-                      incr aborted;
-                      Tel.Sink.ev telemetry ~at:now "request.shed"
-                        [ ("uid", Tel.Trace.Int rc.rc_uid);
-                          ("reason", Tel.Trace.Str "refused_newcomer") ]
-                    end))
+              match admission with
+              | None -> book (fresh_quote ())
+              | Some pol ->
+                  let ((_, finish, _) as q) = fresh_quote () in
+                  if deadline_on && finish > rc.rc_deadline then begin
+                    (* Deadline-aware admission: refuse up front instead of
+                       serving work whose client will have abandoned it. *)
+                    incr timeouts;
+                    incr aborted
+                  end
+                  else
+                    let depth = depth_of b ~now in
+                    let pending = Scheduler.pending sched ~backend:b ~now in
+                    (match
+                       Resilience.Admission.decide pol ~depth ~pending
+                         ~is_update:false
+                     with
+                    | Resilience.Admission.Admit -> book q
+                    | Resilience.Admission.Shed ->
+                        if shed_oldest_queued b ~now then book (fresh_quote ())
+                        else begin
+                          (* Queue holds no evictable read: shed the
+                             newcomer. *)
+                          incr shed;
+                          incr aborted;
+                          Tel.Sink.ev telemetry ~at:now "request.shed"
+                            [ ("uid", Tel.Trace.Int rc.rc_uid);
+                              ("reason", Tel.Trace.Str "refused_newcomer") ]
+                        end)))
   in
   let handle_update ~now (r : Request.t) u =
     incr offered_updates;
@@ -904,10 +917,17 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
            Updates are not retried (see {!Cdbs_faults.Retry}). *)
         incr aborted
     | Ok targets ->
-        let mb = class_mb alloc r in
+        let mb =
+          match r.Request.cost_mb with
+          | Some mb -> mb
+          | None -> (
+              match Scheduler.find_class sched r.Request.class_id with
+              | Some c -> Query_class.size c
+              | None -> 0.)
+        in
         (* Crashed backends holding the touched fragments journal the
            volume; it is replayed when they rejoin. *)
-        (match find_class alloc r.Request.class_id with
+        (match Scheduler.find_class sched r.Request.class_id with
         | Some c ->
             let frags = c.Query_class.fragments in
             let per =
@@ -1145,26 +1165,13 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
             match find_read_booking primary rc.rc_uid with
             | None -> () (* crash-cancelled or shed since it was armed *)
             | Some it1 -> (
-                match find_class alloc rc.rc_class with
+                match Scheduler.find_class sched rc.rc_class with
                 | None -> ()
                 | Some c -> (
-                    let candidates =
-                      Scheduler.eligible_for_read ?healthy:(healthy_at now)
-                        sched c
-                      |> List.filter (fun b -> b <> primary)
-                    in
                     let best =
-                      List.fold_left
-                        (fun acc b ->
-                          match acc with
-                          | None -> Some b
-                          | Some cur ->
-                              if
-                                Scheduler.pending sched ~backend:b ~now
-                                < Scheduler.pending sched ~backend:cur ~now
-                              then Some b
-                              else acc)
-                        None candidates
+                      Scheduler.best_read_target
+                        ?healthy:(healthy_at now) ~exclude:primary sched ~now
+                        c
                     in
                     match best with
                     | None -> () (* no second replica to hedge on *)

@@ -1,0 +1,830 @@
+module Rng = Cdbs_util.Rng
+module Vec = Cdbs_util.Vec
+
+let eps = Eps.assign
+
+(* ------------------------------------------------------------------ *)
+(* Bitsets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Bits = struct
+  type t = Bytes.t
+
+  let create n = Bytes.make ((n + 7) / 8) '\000'
+  let copy = Bytes.copy
+
+  let get t i =
+    Char.code (Bytes.unsafe_get t (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+  let set t i =
+    let j = i lsr 3 in
+    Bytes.unsafe_set t j
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get t j) lor (1 lsl (i land 7))))
+
+  let reset t = Bytes.fill t 0 (Bytes.length t) '\000'
+
+  let blit ~src ~dst = Bytes.blit src 0 dst 0 (Bytes.length src)
+
+  (* Iterate set bits of byte [v] at base index [base]. *)
+  let iter_byte f base v =
+    let rec go v k =
+      if v <> 0 then begin
+        if v land 1 <> 0 then f (base + k);
+        go (v lsr 1) (k + 1)
+      end
+    in
+    go v 0
+
+  let iter f t =
+    for j = 0 to Bytes.length t - 1 do
+      let v = Char.code (Bytes.unsafe_get t j) in
+      if v <> 0 then iter_byte f (j lsl 3) v
+    done
+end
+
+(* ------------------------------------------------------------------ *)
+(* Compiled instance                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type class_spec = {
+  cs_id : string;
+  cs_update : bool;
+  cs_weight : float;
+  cs_frags : int array;
+}
+
+type instance = {
+  backends : Backend.t array;
+  loads : float array;
+  frag_size : float array;
+  frags : Fragment.t array option;
+  n_frags : int;
+  n_classes : int;
+  kind : Bytes.t;  (* '\000' read, '\001' update *)
+  class_id : string array;
+  class_weight : float array;
+  class_off : int array;
+  class_frag : int array;
+  class_size : float array;
+  read_idx : int array;
+  upd_idx : int array;
+  frag_upd_off : int array;
+  frag_upd : int array;
+  ext_used : bool ref;
+}
+
+(* Physical capacity of the class-indexed arrays: ~12.5% slack plus a
+   constant, so Incremental.extend_instance can append a small delta in
+   place (indices >= n_classes, invisible to states sharing the base
+   instance) instead of copying O(classes) arrays.  [ext_used] is the
+   one-shot claim on that slack: the first in-place extension of an
+   instance takes it; a second extension of the same base must copy. *)
+let class_capacity nc = nc + (nc lsr 3) + 16
+
+let is_update inst c = Bytes.get inst.kind c = '\001'
+
+let iter_footprint inst c f =
+  for k = inst.class_off.(c) to inst.class_off.(c + 1) - 1 do
+    f inst.class_frag.(k)
+  done
+
+let make_instance ?frags ~backends ~frag_size specs =
+  let nf = Array.length frag_size in
+  let nc = Array.length specs in
+  (match frags with
+  | Some a when Array.length a <> nf ->
+      invalid_arg "Dense.make_instance: frags/frag_size length mismatch"
+  | _ -> ());
+  let cap = class_capacity nc in
+  let kind = Bytes.make cap '\000' in
+  let class_id = Array.make cap "" in
+  let class_weight = Array.make cap 0. in
+  let class_off = Array.make (cap + 1) 0 in
+  let footprints =
+    Array.map
+      (fun s ->
+        let fs = Array.copy s.cs_frags in
+        Array.sort compare fs;
+        (* dedup in place *)
+        let m = Array.length fs in
+        let keep = ref 0 in
+        for i = 0 to m - 1 do
+          if fs.(i) < 0 || fs.(i) >= nf then
+            invalid_arg "Dense.make_instance: fragment index out of range";
+          if !keep = 0 || fs.(!keep - 1) <> fs.(i) then begin
+            fs.(!keep) <- fs.(i);
+            incr keep
+          end
+        done;
+        Array.sub fs 0 !keep)
+      specs
+  in
+  Array.iteri
+    (fun c s ->
+      if s.cs_weight < 0. then
+        invalid_arg "Dense.make_instance: negative class weight";
+      if s.cs_update then Bytes.set kind c '\001';
+      class_id.(c) <- s.cs_id;
+      class_weight.(c) <- s.cs_weight;
+      class_off.(c + 1) <- class_off.(c) + Array.length footprints.(c))
+    specs;
+  let nfoot = class_off.(nc) in
+  let class_frag = Array.make (nfoot + (nfoot lsr 3) + 256) 0 in
+  let class_size = Array.make cap 0. in
+  Array.iteri
+    (fun c fp ->
+      let base = class_off.(c) in
+      Array.iteri (fun i f -> class_frag.(base + i) <- f) fp;
+      class_size.(c) <-
+        Array.fold_left (fun acc f -> acc +. frag_size.(f)) 0. fp)
+    footprints;
+  let read_idx = Vec.create () and upd_idx = Vec.create () in
+  for c = 0 to nc - 1 do
+    if Bytes.get kind c = '\001' then Vec.push upd_idx c
+    else Vec.push read_idx c
+  done;
+  (* fragment -> update classes (counting-sort CSR) *)
+  let frag_upd_off = Array.make (nf + 1) 0 in
+  Vec.iter
+    (fun u ->
+      for k = class_off.(u) to class_off.(u + 1) - 1 do
+        let f = class_frag.(k) in
+        frag_upd_off.(f + 1) <- frag_upd_off.(f + 1) + 1
+      done)
+    upd_idx;
+  for f = 0 to nf - 1 do
+    frag_upd_off.(f + 1) <- frag_upd_off.(f + 1) + frag_upd_off.(f)
+  done;
+  let frag_upd = Array.make frag_upd_off.(nf) 0 in
+  let cursor = Array.copy frag_upd_off in
+  Vec.iter
+    (fun u ->
+      for k = class_off.(u) to class_off.(u + 1) - 1 do
+        let f = class_frag.(k) in
+        frag_upd.(cursor.(f)) <- u;
+        cursor.(f) <- cursor.(f) + 1
+      done)
+    upd_idx;
+  {
+    backends;
+    loads = Array.map (fun b -> b.Backend.load) backends;
+    frag_size;
+    frags;
+    n_frags = nf;
+    n_classes = nc;
+    kind;
+    class_id;
+    class_weight;
+    class_off;
+    class_frag;
+    class_size;
+    read_idx = Vec.to_array read_idx;
+    upd_idx = Vec.to_array upd_idx;
+    frag_upd_off;
+    frag_upd;
+    ext_used = ref false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Allocation state                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  inst : instance;
+  b_alive : bool array;
+  c_alive : bool array;
+  held : Bits.t array;
+  assign : float array array;
+  load : float array;
+  stored : float array;
+  upd_pins : int array;
+  active : int Vec.t array;
+  pinned : int Vec.t array;
+  scratch_bits : Bits.t;
+  scratch_stack : int Vec.t;
+}
+
+let num_backends t = Array.length t.inst.backends
+
+let create inst =
+  let n = Array.length inst.backends in
+  (* Class-indexed state arrays mirror the instance's physical capacity
+     so an in-place instance extension fits the state too. *)
+  let cap = max inst.n_classes (Array.length inst.class_weight) in
+  {
+    inst;
+    b_alive = Array.make n true;
+    c_alive = Array.make cap true;
+    held = Array.init n (fun _ -> Bits.create inst.n_frags);
+    assign = Array.init n (fun _ -> Array.make cap 0.);
+    load = Array.make n 0.;
+    stored = Array.make n 0.;
+    upd_pins = Array.make cap 0;
+    active = Array.init n (fun _ -> Vec.create ());
+    pinned = Array.init n (fun _ -> Vec.create ());
+    scratch_bits = Bits.create inst.n_frags;
+    scratch_stack = Vec.create ();
+  }
+
+let copy_vec v =
+  let v' = Vec.create () in
+  Vec.iter (Vec.push v') v;
+  v'
+
+let copy t =
+  {
+    inst = t.inst;
+    b_alive = Array.copy t.b_alive;
+    c_alive = Array.copy t.c_alive;
+    held = Array.map Bits.copy t.held;
+    assign = Array.map Array.copy t.assign;
+    load = Array.copy t.load;
+    stored = Array.copy t.stored;
+    upd_pins = Array.copy t.upd_pins;
+    active = Array.map copy_vec t.active;
+    pinned = Array.map copy_vec t.pinned;
+    scratch_bits = Bits.create t.inst.n_frags;
+    scratch_stack = Vec.create ();
+  }
+
+let holds t b c =
+  let ok = ref true in
+  iter_footprint t.inst c (fun f -> if not (Bits.get t.held.(b) f) then ok := false);
+  !ok
+
+let overlaps t b c =
+  let any = ref false in
+  iter_footprint t.inst c (fun f -> if Bits.get t.held.(b) f then any := true);
+  !any
+
+let scale t =
+  let s = ref 1. in
+  for b = 0 to num_backends t - 1 do
+    if t.b_alive.(b) then begin
+      let r = t.load.(b) /. t.inst.loads.(b) in
+      if r > !s then s := r
+    end
+  done;
+  !s
+
+let total_stored t =
+  let acc = ref 0. in
+  for b = 0 to num_backends t - 1 do
+    if t.b_alive.(b) then acc := !acc +. t.stored.(b)
+  done;
+  !acc
+
+let cost t = (scale t, total_stored t)
+
+(* Resync the cached per-backend sums from the ground truth (assign rows
+   and held bitsets), using the same summation order the legacy
+   [Allocation.assigned_load]/[total_stored] use. *)
+let refresh t =
+  let inst = t.inst in
+  for b = 0 to num_backends t - 1 do
+    let acc = ref 0. in
+    let row = t.assign.(b) in
+    for c = 0 to inst.n_classes - 1 do
+      acc := !acc +. row.(c)
+    done;
+    t.load.(b) <- !acc;
+    let st = ref 0. in
+    Bits.iter (fun f -> st := !st +. inst.frag_size.(f)) t.held.(b);
+    t.stored.(b) <- !st
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Primitive moves (shared by greedy / memetic / incremental)          *)
+(* ------------------------------------------------------------------ *)
+
+(* Install one fragment on [b]; newly-set fragments go on the scratch
+   worklist so [settle] can chase the update closure. *)
+let install_fragment t b f =
+  if not (Bits.get t.held.(b) f) then begin
+    Bits.set t.held.(b) f;
+    t.stored.(b) <- t.stored.(b) +. t.inst.frag_size.(f);
+    Vec.push t.scratch_stack f
+  end
+
+(* Drain the worklist: pin every (alive) update class overlapping a newly
+   installed fragment, installing its footprint in turn (Eq. 10 fixpoint).
+   Returns the update weight newly pinned on [b]. *)
+let settle ?on_pin t b =
+  let inst = t.inst in
+  let added = ref 0. in
+  let continue = ref true in
+  while !continue do
+    match Vec.pop t.scratch_stack with
+    | None -> continue := false
+    | Some f ->
+        for k = inst.frag_upd_off.(f) to inst.frag_upd_off.(f + 1) - 1 do
+          let u = inst.frag_upd.(k) in
+          let w = inst.class_weight.(u) in
+          if t.c_alive.(u) && t.assign.(b).(u) < w then begin
+            let old = t.assign.(b).(u) in
+            t.assign.(b).(u) <- w;
+            t.load.(b) <- t.load.(b) +. (w -. old);
+            added := !added +. (w -. old);
+            if old <= 0. then begin
+              Vec.push t.pinned.(b) u;
+              t.upd_pins.(u) <- t.upd_pins.(u) + 1
+            end;
+            (match on_pin with Some g -> g u | None -> ());
+            iter_footprint inst u (fun j -> install_fragment t b j)
+          end
+        done
+  done;
+  !added
+
+(* Install class [c]'s footprint (and its update closure) on [b]. *)
+let install_class ?on_pin t b c =
+  iter_footprint t.inst c (fun f -> install_fragment t b f);
+  settle ?on_pin t b
+
+(* Add read assignment, tracking membership in the active vector. *)
+let add_assign t b c amount =
+  let old = t.assign.(b).(c) in
+  if old <= 0. && amount > 0. then Vec.push t.active.(b) c;
+  t.assign.(b).(c) <- old +. amount
+
+(* Local prune of one backend: keep only fragments some assigned read
+   class here references, re-establish the update closure, and re-home
+   update classes the prune orphaned (the dense counterpart of the global
+   [Allocation.prune] when only [b] changed). *)
+let prune_backend t b =
+  let inst = t.inst in
+  Bits.reset t.scratch_bits;
+  Vec.filter_in_place (fun c -> t.assign.(b).(c) > 0.) t.active.(b);
+  Vec.iter
+    (fun c -> iter_footprint inst c (fun f -> Bits.set t.scratch_bits f))
+    t.active.(b);
+  (* Clear update pinnings on b; remember globally orphaned classes. *)
+  let orphans = ref [] in
+  Vec.iter
+    (fun u ->
+      if t.assign.(b).(u) > 0. then begin
+        t.load.(b) <- t.load.(b) -. t.assign.(b).(u);
+        t.assign.(b).(u) <- 0.;
+        t.upd_pins.(u) <- t.upd_pins.(u) - 1;
+        if t.upd_pins.(u) = 0 then orphans := u :: !orphans
+      end)
+    t.pinned.(b);
+  Vec.clear t.pinned.(b);
+  (* held(b) <- needed; rebuild stored; queue kept fragments for re-pin. *)
+  Bits.blit ~src:t.scratch_bits ~dst:t.held.(b);
+  let st = ref 0. in
+  Bits.iter
+    (fun f ->
+      st := !st +. inst.frag_size.(f);
+      Vec.push t.scratch_stack f)
+    t.held.(b);
+  t.stored.(b) <- !st;
+  ignore (settle t b);
+  (* Re-home updates that now overlap no backend: [b] was their last
+     carrier, so (like the legacy prune) they return to it. *)
+  List.iter
+    (fun u ->
+      if t.upd_pins.(u) = 0 && t.c_alive.(u) then ignore (install_class t b u))
+    !orphans
+
+(* Move [amount] of read class [c] from [b1] to [b2], installing the data
+   (and update closure) on [b2] and pruning [b1]. *)
+let transfer t c ~b1 ~b2 ~amount =
+  let a1 = t.assign.(b1).(c) in
+  let amount = min amount a1 in
+  if amount > 0. && b1 <> b2 && t.b_alive.(b2) then begin
+    t.assign.(b1).(c) <- a1 -. amount;
+    t.load.(b1) <- t.load.(b1) -. amount;
+    ignore (install_class t b2 c);
+    add_assign t b2 c amount;
+    t.load.(b2) <- t.load.(b2) +. amount;
+    prune_backend t b1
+  end
+
+(* Number of alive backends holding the class's full footprint. *)
+let replica_count t c =
+  let n = ref 0 in
+  for b = 0 to num_backends t - 1 do
+    if t.b_alive.(b) && holds t b c then incr n
+  done;
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* Greedy (dense port of Greedy.allocate)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Lazy max-heap ordered by (key desc, rest desc, size desc, seq asc).
+   The sort key of a queued class only ever decreases (its remaining
+   weight is the only moving part), so re-pushing stale heads reproduces
+   the legacy full re-sort order whenever keys are distinct. *)
+module Heap = struct
+  type entry = { key : float; hrest : float; hsize : float; seq : int; cls : int }
+
+  type h = { mutable a : entry array; mutable len : int }
+
+  let dummy = { key = 0.; hrest = 0.; hsize = 0.; seq = 0; cls = -1 }
+  let create () = { a = Array.make 64 dummy; len = 0 }
+
+  let before x y =
+    x.key > y.key
+    || (x.key = y.key
+        && (x.hrest > y.hrest
+            || (x.hrest = y.hrest
+                && (x.hsize > y.hsize || (x.hsize = y.hsize && x.seq < y.seq)))))
+
+  let push h e =
+    if h.len = Array.length h.a then begin
+      let a' = Array.make (2 * h.len) dummy in
+      Array.blit h.a 0 a' 0 h.len;
+      h.a <- a'
+    end;
+    h.a.(h.len) <- e;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && before h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.len <- h.len - 1;
+      h.a.(0) <- h.a.(h.len);
+      h.a.(h.len) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let best = ref !i in
+        if l < h.len && before h.a.(l) h.a.(!best) then best := l;
+        if r < h.len && before h.a.(r) h.a.(!best) then best := r;
+        if !best = !i then continue := false
+        else begin
+          let tmp = h.a.(!best) in
+          h.a.(!best) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !best
+        end
+      done;
+      Some top
+    end
+end
+
+let greedy inst =
+  let t = create inst in
+  let n = Array.length inst.backends in
+  if n = 0 then invalid_arg "Dense.greedy: no backends";
+  let nf = inst.n_frags and nc = inst.n_classes in
+  (* --- greedy-only tables ------------------------------------------ *)
+  (* Which fragments some read class touches: updates overlapping none of
+     them are explicit (Eq. 20). *)
+  let frag_has_read = Bits.create nf in
+  Array.iter
+    (fun c -> iter_footprint inst c (fun f -> Bits.set frag_has_read f))
+    inst.read_idx;
+  let explicit = Vec.create () in
+  Array.iter (fun c -> Vec.push explicit c) inst.read_idx;
+  Array.iter
+    (fun u ->
+      let touches_read = ref false in
+      iter_footprint inst u (fun f ->
+          if Bits.get frag_has_read f then touches_read := true);
+      if not !touches_read then Vec.push explicit u)
+    inst.upd_idx;
+  let explicit = Vec.to_array explicit in
+  let ne = Array.length explicit in
+  (* Closure footprint (own fragments plus those of overlapping updates)
+     and the static extra update weight, per explicit class. *)
+  let ustamp = Array.make nc (-1) and fstamp = Array.make nf (-1) in
+  let closure_off = Array.make (ne + 1) 0 in
+  let closure_frag = Vec.create () in
+  let closure_size = Array.make ne 0. in
+  let extra_w = Array.make ne 0. in
+  let uvec = Vec.create () in
+  Array.iteri
+    (fun ei c ->
+      Vec.clear uvec;
+      iter_footprint inst c (fun f ->
+          for k = inst.frag_upd_off.(f) to inst.frag_upd_off.(f + 1) - 1 do
+            let u = inst.frag_upd.(k) in
+            if ustamp.(u) <> ei then begin
+              ustamp.(u) <- ei;
+              Vec.push uvec u
+            end
+          done);
+      let size = ref 0. in
+      let add_frag f =
+        if fstamp.(f) <> ei then begin
+          fstamp.(f) <- ei;
+          Vec.push closure_frag f;
+          size := !size +. inst.frag_size.(f)
+        end
+      in
+      iter_footprint inst c add_frag;
+      Vec.iter
+        (fun u ->
+          if u <> c then extra_w.(ei) <- extra_w.(ei) +. inst.class_weight.(u);
+          iter_footprint inst u add_frag)
+        uvec;
+      closure_size.(ei) <- !size;
+      closure_off.(ei + 1) <- Vec.length closure_frag)
+    explicit;
+  let closure_frag = Vec.to_array closure_frag in
+  (* --- the queue ---------------------------------------------------- *)
+  let rest = Array.copy inst.class_weight in
+  let key ei = (rest.(explicit.(ei)) +. extra_w.(ei)) *. closure_size.(ei) in
+  let heap = Heap.create () in
+  Array.iteri
+    (fun ei c ->
+      Heap.push heap
+        {
+          Heap.key = key ei;
+          hrest = rest.(c);
+          hsize = inst.class_size.(c);
+          seq = ei;
+          cls = ei;
+        })
+    explicit;
+  let requeue_seq = ref 0 in
+  let requeue ei =
+    (* Decreasing negative sequence numbers: a re-queued class beats older
+       entries on full ties, mirroring its place at the head of the legacy
+       stable sort. *)
+    decr requeue_seq;
+    Heap.push heap
+      {
+        Heap.key = key ei;
+        hrest = rest.(explicit.(ei));
+        hsize = inst.class_size.(explicit.(ei));
+        seq = !requeue_seq;
+        cls = ei;
+      }
+  in
+  let scaled = Array.copy inst.loads in
+  let all_full () =
+    let rec go b = b >= n || (t.load.(b) >= scaled.(b) -. eps && go (b + 1)) in
+    go 0
+  in
+  let difference ei b =
+    if t.load.(b) >= scaled.(b) -. eps then infinity
+    else if t.load.(b) <= eps then 0.
+    else begin
+      let missing = ref 0. in
+      for k = closure_off.(ei) to closure_off.(ei + 1) - 1 do
+        let f = closure_frag.(k) in
+        if not (Bits.get t.held.(b) f) then
+          missing := !missing +. inst.frag_size.(f)
+      done;
+      !missing
+    end
+  in
+  let on_pin u = rest.(u) <- 0. in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop heap with
+    | None -> continue := false
+    | Some e ->
+        let ei = e.Heap.cls in
+        let c = explicit.(ei) in
+        if e.Heap.key <> key ei || e.Heap.hrest <> rest.(c) then requeue ei
+        else begin
+          let w = inst.class_weight.(c) in
+          if all_full () then
+            for b = 0 to n - 1 do
+              scaled.(b) <- t.load.(b) +. (inst.loads.(b) *. w)
+            done;
+          let best = ref 0 and best_diff = ref (difference ei 0) in
+          for b = 1 to n - 1 do
+            let d = difference ei b in
+            if d < !best_diff then begin
+              best := b;
+              best_diff := d
+            end
+          done;
+          let b = !best in
+          for k = closure_off.(ei) to closure_off.(ei + 1) - 1 do
+            install_fragment t b closure_frag.(k)
+          done;
+          ignore (settle ~on_pin t b);
+          if is_update inst c then begin
+            if t.load.(b) > scaled.(b) then scaled.(b) <- t.load.(b)
+          end
+          else begin
+            if t.load.(b) >= scaled.(b) -. eps then
+              scaled.(b) <- t.load.(b) +. (inst.loads.(b) *. w);
+            let capacity = scaled.(b) -. t.load.(b) in
+            let rw = rest.(c) in
+            if rw > capacity +. eps then begin
+              rest.(c) <- rw -. capacity;
+              add_assign t b c capacity;
+              t.load.(b) <- scaled.(b);
+              requeue ei
+            end
+            else begin
+              add_assign t b c rw;
+              rest.(c) <- 0.;
+              t.load.(b) <- t.load.(b) +. rw
+            end
+          end
+        end
+  done;
+  refresh t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Mutation (dense port of Memetic.mutate)                             *)
+(* ------------------------------------------------------------------ *)
+
+let mutate rng t =
+  let child = copy t in
+  let n = num_backends child in
+  let reads = t.inst.read_idx in
+  if Array.length reads = 0 || n < 2 then child
+  else begin
+    let sources = Array.make n 0 in
+    let attempts = 1 + Rng.int rng 3 in
+    for _ = 1 to attempts do
+      let c = reads.(Rng.int rng (Array.length reads)) in
+      let ns = ref 0 in
+      for b = 0 to n - 1 do
+        if child.b_alive.(b) && child.assign.(b).(c) > Eps.tiny then begin
+          sources.(!ns) <- b;
+          incr ns
+        end
+      done;
+      if !ns > 0 then begin
+        let b1 = sources.(Rng.int rng !ns) in
+        let b2 = Rng.int rng n in
+        if b1 <> b2 && child.b_alive.(b2) then begin
+          let a1 = child.assign.(b1).(c) in
+          let amount = if Rng.bool rng then a1 else Rng.float rng a1 in
+          transfer child c ~b1 ~b2 ~amount
+        end
+      end
+    done;
+    child
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let of_allocation (alloc : Allocation.t) =
+  let workload = Allocation.workload alloc in
+  let frag_list = Fragment.Set.elements (Workload.fragments workload) in
+  let frags = Array.of_list frag_list in
+  let nf = Array.length frags in
+  let index : (Fragment.t, int) Hashtbl.t = Hashtbl.create (max 16 nf) in
+  Array.iteri (fun i f -> Hashtbl.replace index f i) frags;
+  let frag_size = Array.map (fun f -> f.Fragment.size) frags in
+  let spec_of (c : Query_class.t) =
+    {
+      cs_id = c.Query_class.id;
+      cs_update = Query_class.is_update c;
+      cs_weight = c.Query_class.weight;
+      cs_frags =
+        Array.of_list
+          (List.map
+             (fun f -> Hashtbl.find index f)
+             (Fragment.Set.elements c.Query_class.fragments));
+    }
+  in
+  let specs =
+    Array.of_list (List.map spec_of (Workload.all_classes workload))
+  in
+  let inst =
+    make_instance ~frags ~backends:(Allocation.backends alloc) ~frag_size specs
+  in
+  let t = create inst in
+  let classes = Allocation.classes alloc in
+  for b = 0 to num_backends t - 1 do
+    Fragment.Set.iter
+      (fun f ->
+        let i = Hashtbl.find index f in
+        Bits.set t.held.(b) i)
+      (Allocation.fragments_of alloc b);
+    Array.iteri
+      (fun c qc ->
+        let w = Allocation.get_assign alloc b qc in
+        if w > 0. then begin
+          t.assign.(b).(c) <- w;
+          if is_update inst c then begin
+            Vec.push t.pinned.(b) c;
+            t.upd_pins.(c) <- t.upd_pins.(c) + 1
+          end
+          else Vec.push t.active.(b) c
+        end)
+      classes
+  done;
+  refresh t;
+  t
+
+let to_allocation t =
+  let inst = t.inst in
+  let frags =
+    match inst.frags with
+    | Some a -> a
+    | None ->
+        invalid_arg
+          "Dense.to_allocation: instance was built without Fragment.t values"
+  in
+  let class_of c =
+    let fp = ref [] in
+    iter_footprint inst c (fun f -> fp := frags.(f) :: !fp);
+    let mk = if is_update inst c then Query_class.update else Query_class.read in
+    mk inst.class_id.(c) !fp ~weight:inst.class_weight.(c)
+  in
+  let alive_classes idx =
+    Array.to_list idx |> List.filter (fun c -> t.c_alive.(c))
+  in
+  let workload =
+    Workload.make
+      ~reads:(List.map class_of (alive_classes inst.read_idx))
+      ~updates:(List.map class_of (alive_classes inst.upd_idx))
+  in
+  let live =
+    Array.to_list (Array.init (num_backends t) Fun.id)
+    |> List.filter (fun b -> t.b_alive.(b))
+  in
+  let backend_list =
+    List.mapi
+      (fun i b ->
+        {
+          Backend.id = i;
+          name = inst.backends.(b).Backend.name;
+          load = inst.loads.(b);
+        })
+      live
+  in
+  let alloc = Allocation.create workload backend_list in
+  List.iteri
+    (fun i b ->
+      let set = ref Fragment.Set.empty in
+      Bits.iter (fun f -> set := Fragment.Set.add frags.(f) !set) t.held.(b);
+      Allocation.add_fragments alloc i !set;
+      for c = 0 to inst.n_classes - 1 do
+        if t.c_alive.(c) && t.assign.(b).(c) <> 0. then
+          Allocation.set_assign alloc i
+            (Option.get (Workload.find workload inst.class_id.(c)))
+            t.assign.(b).(c)
+      done)
+    live;
+  alloc
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic massive instances                                         *)
+(* ------------------------------------------------------------------ *)
+
+let synthetic ?(materialize = false) ~rng ~fragments ~reads ~updates ~backends
+    () =
+  if fragments <= 0 || reads <= 0 || backends <= 0 then
+    invalid_arg "Dense.synthetic: need positive fragments/reads/backends";
+  let frag_size = Array.init fragments (fun _ -> 0.5 +. Rng.float rng 1.5) in
+  let span max_span =
+    let s = 1 + Rng.int rng (min max_span fragments) in
+    let start = Rng.int rng (fragments - s + 1) in
+    Array.init s (fun i -> start + i)
+  in
+  let raw = Array.make (reads + updates) 0. in
+  let specs =
+    Array.init (reads + updates) (fun i ->
+        if i < reads then begin
+          raw.(i) <- 0.01 +. Rng.float rng 1.0;
+          {
+            cs_id = Printf.sprintf "q%d" (i + 1);
+            cs_update = false;
+            cs_weight = 0.;
+            cs_frags = span 8;
+          }
+        end
+        else begin
+          raw.(i) <- 0.25 *. (0.01 +. Rng.float rng 1.0);
+          {
+            cs_id = Printf.sprintf "u%d" (i - reads + 1);
+            cs_update = true;
+            cs_weight = 0.;
+            cs_frags = span 4;
+          }
+        end)
+  in
+  let total = Array.fold_left ( +. ) 0. raw in
+  let specs =
+    Array.mapi (fun i s -> { s with cs_weight = raw.(i) /. total }) specs
+  in
+  let frags =
+    if not materialize then None
+    else
+      Some
+        (Array.init fragments (fun i ->
+             Fragment.range "t" "k" ~lo:(float_of_int i)
+               ~hi:(float_of_int (i + 1))
+               ~size:frag_size.(i)))
+  in
+  make_instance ?frags
+    ~backends:(Array.of_list (Backend.homogeneous backends))
+    ~frag_size specs

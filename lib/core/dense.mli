@@ -1,0 +1,163 @@
+(** Flat-array allocation core for massive instances.
+
+    The legacy {!Allocation} keeps a [Fragment.Set.t] per backend and
+    routes every lookup through class ids — fine for the paper's
+    tens-of-fragments examples, hopeless at 10⁵–10⁷ fragments.  This
+    module compiles a workload into an immutable {!instance} (CSR
+    class→footprint and fragment→update-class tables over integer
+    fragment ids) and represents an allocation as per-backend bitsets
+    plus a dense assignment matrix, so the greedy and memetic hot paths
+    run as indexed loops with reusable scratch buffers.
+
+    Conversions {!of_allocation}/{!to_allocation} bridge to the legacy
+    representation so every existing caller, checker and test keeps
+    working; {!greedy} is an exact port of {!Greedy.allocate} (same
+    placement order, same result up to float tie-breaks that are
+    measure-zero for generic weights). *)
+
+(** {1 Compiled instance} *)
+
+type class_spec = {
+  cs_id : string;
+  cs_update : bool;
+  cs_weight : float;
+  cs_frags : int array;  (** fragment indices; deduped by the builder *)
+}
+
+type instance = {
+  backends : Backend.t array;
+  loads : float array;  (** relative capacity share per backend *)
+  frag_size : float array;
+  frags : Fragment.t array option;
+      (** materialized fragments, needed only for {!to_allocation} *)
+  n_frags : int;
+  n_classes : int;
+  kind : Bytes.t;  (** per class: ['\000'] read, ['\001'] update *)
+  class_id : string array;
+  class_weight : float array;
+  class_off : int array;  (** footprint CSR offsets, length n_classes+1 *)
+  class_frag : int array;  (** footprint CSR, sorted per class *)
+  class_size : float array;
+  read_idx : int array;  (** read class indices, workload order *)
+  upd_idx : int array;  (** update class indices, workload order *)
+  frag_upd_off : int array;  (** fragment→update CSR offsets *)
+  frag_upd : int array;
+  ext_used : bool ref;
+      (** one-shot claim on the capacity slack of the class arrays; set
+          by the first in-place {!Incremental} extension of this
+          instance so a second extension of the same base falls back to
+          copying *)
+}
+
+val class_capacity : int -> int
+(** Physical length of the class-indexed arrays for a logical class
+    count: ~12.5% slack plus a constant, reserved for in-place
+    extension. *)
+
+val make_instance :
+  ?frags:Fragment.t array ->
+  backends:Backend.t array ->
+  frag_size:float array ->
+  class_spec array ->
+  instance
+
+val is_update : instance -> int -> bool
+val iter_footprint : instance -> int -> (int -> unit) -> unit
+
+val synthetic :
+  ?materialize:bool ->
+  rng:Cdbs_util.Rng.t ->
+  fragments:int ->
+  reads:int ->
+  updates:int ->
+  backends:int ->
+  unit ->
+  instance
+(** Random massive instance: contiguous range footprints (reads span up
+    to 8 fragments, updates up to 4), weights normalized to sum 1 with
+    roughly 4:1 read:update mass.  With [materialize] the [Fragment.t]
+    array is built too (needed for {!to_allocation} / migration plans);
+    off by default to keep 10⁶-fragment instances cheap. *)
+
+(** {1 Allocation state} *)
+
+(** Bitsets over fragment indices (bytes, 8 bits each). *)
+module Bits : sig
+  type t = Bytes.t
+
+  val create : int -> t
+  val get : t -> int -> bool
+  val set : t -> int -> unit
+  val reset : t -> unit
+  val iter : (int -> unit) -> t -> unit
+end
+
+type t = {
+  inst : instance;
+  b_alive : bool array;  (** retired backends stay in place, flagged dead *)
+  c_alive : bool array;  (** retired classes are tombstoned *)
+  held : Bits.t array;  (** per backend, over fragments *)
+  assign : float array array;  (** backends × classes *)
+  load : float array;  (** cached row sums of [assign] *)
+  stored : float array;  (** cached size of [held] *)
+  upd_pins : int array;  (** per update class: backends where pinned *)
+  active : int Cdbs_util.Vec.t array;
+      (** per backend: read classes possibly assigned (may hold stale
+          entries; compacted on prune) *)
+  pinned : int Cdbs_util.Vec.t array;
+      (** per backend: update classes possibly pinned *)
+  scratch_bits : Bits.t;
+  scratch_stack : int Cdbs_util.Vec.t;
+}
+(** Treat the fields as read-only outside [Cdbs_core]; mutate through the
+    operations below so the cached sums and membership vectors stay
+    consistent. *)
+
+val create : instance -> t
+(** Empty allocation (no data, no assignment). *)
+
+val copy : t -> t
+val num_backends : t -> int
+val holds : t -> int -> int -> bool
+val overlaps : t -> int -> int -> bool
+val replica_count : t -> int -> int
+
+val scale : t -> float
+(** Eqs. 14–15 over alive backends, floored at 1. *)
+
+val total_stored : t -> float
+val cost : t -> float * float
+val refresh : t -> unit
+
+(** {1 Moves} *)
+
+val install_fragment : t -> int -> int -> unit
+(** Queue-installing primitive; pair with {!settle} to restore Eq. 10. *)
+
+val settle : ?on_pin:(int -> unit) -> t -> int -> float
+(** Chase the update-closure fixpoint on one backend for every fragment
+    installed since the last settle; returns the newly pinned update
+    weight. *)
+
+val install_class : ?on_pin:(int -> unit) -> t -> int -> int -> float
+val add_assign : t -> int -> int -> float -> unit
+val prune_backend : t -> int -> unit
+val transfer : t -> int -> b1:int -> b2:int -> amount:float -> unit
+
+(** {1 Algorithms} *)
+
+val greedy : instance -> t
+(** Dense port of {!Greedy.allocate}: lazy max-heap over the
+    weight×size keys instead of a full re-sort per placement, bitset
+    difference scans instead of set operations. *)
+
+val mutate : Cdbs_util.Rng.t -> t -> t
+(** Dense port of the memetic mutation move (1–3 random read-class
+    transfers followed by a local prune). *)
+
+(** {1 Conversions} *)
+
+val of_allocation : Allocation.t -> t
+val to_allocation : t -> Allocation.t
+(** @raise Invalid_argument when the instance has no materialized
+    fragments, or (for [to_allocation]) always when fragments are absent. *)

@@ -1,0 +1,34 @@
+let available () = max 1 (Domain.recommended_domain_count ())
+
+let mapi ?domains f arr =
+  let n = Array.length arr in
+  let d =
+    let d = match domains with None -> available () | Some d -> max 1 d in
+    min d n
+  in
+  if n = 0 then [||]
+  else if d <= 1 then Array.mapi f arr
+  else begin
+    let results = Array.make n None in
+    (* Domain [j] takes indices j, j+d, j+2d, ... — a fixed stripe, so no
+       two domains ever write the same slot. *)
+    let worker j () =
+      let i = ref j in
+      while !i < n do
+        results.(!i) <- Some (f !i arr.(!i));
+        i := !i + d
+      done
+    in
+    let spawned = Array.init (d - 1) (fun j -> Domain.spawn (worker (j + 1))) in
+    let here = try Ok (worker 0 ()) with e -> Error e in
+    let joined =
+      Array.map (fun dom -> try Ok (Domain.join dom) with e -> Error e) spawned
+    in
+    (match here with Ok () -> () | Error e -> raise e);
+    Array.iter (function Ok () -> () | Error e -> raise e) joined;
+    Array.map
+      (function Some v -> v | None -> invalid_arg "Pool.map: missing result")
+      results
+  end
+
+let map ?domains f arr = mapi ?domains (fun _ x -> f x) arr

@@ -69,4 +69,12 @@ dune exec bin/cdbs_cli.exe -- day --smoke --monitor --json --out BENCH_day.json 
   --min-availability 0.99 --max-p99-ms 50 --max-shed-rate 0.01
 test -s BENCH_day.json
 
+# Allocator scale smoke: 100k fragments x 50 backends through the dense
+# greedy under a wall-clock gate, diagnostic-clean, with the O(delta)
+# incremental-repair gate (a 1% workload delta may move at most 5% of
+# the fragments) and a persisted BENCH_alloc.json.
+dune exec bin/cdbs_cli.exe -- alloc --smoke --check --max-seconds 30 \
+  --max-moved-frac 0.05 --json --out BENCH_alloc.json
+test -s BENCH_alloc.json
+
 echo "check: OK"

@@ -1,0 +1,372 @@
+(* Dense allocator core: equivalence with the legacy list path, pool
+   determinism, incremental repair safety, island-parallel determinism. *)
+
+open Cdbs_core
+module Rng = Cdbs_util.Rng
+
+let frag_set_to_list s = List.map Fragment.name (Fragment.Set.elements s)
+
+(* Compare two allocations structurally: same backends, same per-backend
+   fragment sets, same assignment matrix (up to float noise from the two
+   code paths accumulating sums in different orders). *)
+let same_allocation a b =
+  let n = Allocation.num_backends a in
+  n = Allocation.num_backends b
+  && Array.length (Allocation.classes a) = Array.length (Allocation.classes b)
+  && begin
+       let ok = ref true in
+       for bk = 0 to n - 1 do
+         if
+           not
+             (Fragment.Set.equal
+                (Allocation.fragments_of a bk)
+                (Allocation.fragments_of b bk))
+         then ok := false
+       done;
+       Array.iter
+         (fun c ->
+           for bk = 0 to n - 1 do
+             if
+               abs_float
+                 (Allocation.get_assign a bk c -. Allocation.get_assign b bk c)
+               > 1e-9
+             then ok := false
+           done)
+         (Allocation.classes a);
+       !ok
+     end
+
+(* (a) Dense greedy ≡ legacy greedy: same fragment placement, same
+   assignment, hence identical cost and replication degree. *)
+let prop_dense_greedy_matches_legacy =
+  QCheck.Test.make ~count:300 ~name:"dense greedy matches legacy greedy"
+    Gen.scenario_arbitrary (fun (w, backends) ->
+      let legacy = Greedy.allocate w backends in
+      let inst = Dense.(of_allocation (Allocation.create w backends)).Dense.inst in
+      let dense = Dense.greedy inst in
+      let converted = Dense.to_allocation dense in
+      let scale_ok =
+        abs_float (Allocation.scale legacy -. Dense.scale dense) <= 1e-9
+      in
+      let stored_ok =
+        abs_float (Allocation.total_stored legacy -. Dense.total_stored dense)
+        <= 1e-6
+      in
+      if not (same_allocation legacy converted && scale_ok && stored_ok) then
+        QCheck.Test.fail_reportf
+          "legacy scale=%.12f stored=%.6f vs dense scale=%.12f stored=%.6f@.%a"
+          (Allocation.scale legacy)
+          (Allocation.total_stored legacy)
+          (Dense.scale dense) (Dense.total_stored dense)
+          Fmt.(list ~sep:comma (list ~sep:semi string))
+          [
+            frag_set_to_list (Allocation.fragments_of legacy 0);
+            frag_set_to_list (Allocation.fragments_of converted 0);
+          ]
+      else true)
+
+(* Round-trip: legacy -> dense -> legacy preserves structure and cost. *)
+let prop_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"of_allocation/to_allocation round-trip"
+    Gen.scenario_arbitrary (fun (w, backends) ->
+      let legacy = Greedy.allocate w backends in
+      let dense = Dense.of_allocation legacy in
+      let back = Dense.to_allocation dense in
+      same_allocation legacy back
+      && abs_float (Allocation.scale legacy -. Dense.scale dense) <= 1e-9)
+
+(* (b) Incremental.repair stays checker-clean and within the move budget
+   across random deltas, including backend adds and retirements. *)
+let prop_repair_clean =
+  QCheck.Test.make ~count:200 ~name:"incremental repair is checker-clean"
+    (QCheck.pair Gen.scenario_arbitrary QCheck.small_nat)
+    (fun ((w, backends), salt) ->
+      let rng = Rng.create (1000 + salt) in
+      let t = Dense.of_allocation (Greedy.allocate w backends) in
+      let deltas = Incremental.random_delta ~rng ~frac:0.3 t in
+      let alive = List.length backends in
+      let deltas =
+        (if Rng.bool rng then
+           [ Incremental.Add_backend { name = "Bnew"; capacity = 1.0 } ]
+         else [])
+        @ (if alive >= 3 && Rng.bool rng then
+             [ Incremental.Retire_backend { backend = Rng.int rng alive } ]
+           else [])
+        @ deltas
+      in
+      let budget = t.Dense.inst.Dense.n_frags in
+      let st, stats = Incremental.repair ~budget t deltas in
+      let dense_diags =
+        Cdbs_analysis.Check_allocation.check_dense st
+        |> Cdbs_analysis.Diagnostic.errors
+      in
+      let legacy_diags =
+        Cdbs_analysis.Check_allocation.check (Dense.to_allocation st)
+        |> Cdbs_analysis.Diagnostic.errors
+      in
+      if dense_diags <> [] || legacy_diags <> [] then
+        QCheck.Test.fail_reportf "diagnostics: dense %d legacy %d — first: %s"
+          (List.length dense_diags)
+          (List.length legacy_diags)
+          (match dense_diags @ legacy_diags with
+          | d :: _ -> Fmt.str "%a" Cdbs_analysis.Diagnostic.pp d
+          | [] -> "-")
+      else stats.Incremental.rebalance_fragments <= budget)
+
+(* (b') with k-safety: a k-safe input stays k-safe through the delta. *)
+let prop_repair_preserves_ksafety =
+  QCheck.Test.make ~count:100 ~name:"incremental repair preserves k-safety"
+    (QCheck.pair Gen.scenario_arbitrary QCheck.small_nat)
+    (fun ((w, backends), salt) ->
+      QCheck.assume (List.length backends >= 2);
+      let rng = Rng.create (2000 + salt) in
+      let t = Dense.of_allocation (Ksafety.allocate ~k:1 w backends) in
+      let deltas = Incremental.random_delta ~rng ~frac:0.2 t in
+      let st, _ = Incremental.repair ~k:1 t deltas in
+      Cdbs_analysis.Check_allocation.check_dense ~k:1 st
+      |> Cdbs_analysis.Diagnostic.errors
+      = [])
+
+(* (c) The island-parallel memetic is bit-deterministic for a fixed
+   (seed, islands) no matter how many domains run it. *)
+let prop_memetic_par_deterministic =
+  QCheck.Test.make ~count:30
+    ~name:"parallel memetic deterministic across domains"
+    Gen.scenario_arbitrary (fun (w, backends) ->
+      let t = Dense.of_allocation (Greedy.allocate w backends) in
+      let params =
+        {
+          Memetic_par.population = 4;
+          generations = 6;
+          mutations_per_parent = 2;
+          islands = 4;
+          migration_every = 2;
+        }
+      in
+      let run domains =
+        Memetic_par.improve ~params ~domains ~seed:7 (Dense.copy t)
+      in
+      let r1 = run 1 and r2 = run 2 and r4 = run 4 in
+      let same a b =
+        a.Dense.assign = b.Dense.assign
+        && Array.for_all2 Bytes.equal a.Dense.held b.Dense.held
+        && Dense.cost a = Dense.cost b
+      in
+      let not_worse =
+        not (Memetic_par.better (Dense.cost t) (Dense.cost r1))
+      in
+      same r1 r2 && same r1 r4 && not_worse)
+
+let test_repair_budget_zero () =
+  let rng = Rng.create 3 in
+  let inst =
+    Dense.synthetic ~rng ~fragments:200 ~reads:60 ~updates:15 ~backends:5 ()
+  in
+  let t = Dense.greedy inst in
+  let _, stats =
+    Incremental.repair ~budget:0 t
+      [ Incremental.Add_backend { name = "B6"; capacity = 1.0 } ]
+  in
+  Alcotest.(check int)
+    "no rebalance copies" 0 stats.Incremental.rebalance_fragments
+
+let test_repair_moves_o_delta () =
+  let rng = Rng.create 11 in
+  let inst =
+    Dense.synthetic ~rng ~fragments:5000 ~reads:1500 ~updates:300 ~backends:20
+      ()
+  in
+  let t = Dense.greedy inst in
+  let deltas = Incremental.random_delta ~rng ~frac:0.01 t in
+  let st, stats = Incremental.repair t deltas in
+  let errs =
+    Cdbs_analysis.Check_allocation.check_dense st
+    |> Cdbs_analysis.Diagnostic.errors
+  in
+  Alcotest.(check int) "clean" 0 (List.length errs);
+  let moved_frac =
+    float_of_int stats.Incremental.moved_fragments
+    /. float_of_int inst.Dense.n_frags
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "moved %.4f <= 0.05" moved_frac)
+    true (moved_frac <= 0.05)
+
+let test_check_dense_flags_corruption () =
+  let rng = Rng.create 5 in
+  let inst =
+    Dense.synthetic ~rng ~fragments:300 ~reads:80 ~updates:20 ~backends:6 ()
+  in
+  let t = Dense.greedy inst in
+  Alcotest.(check int) "clean before" 0
+    (List.length
+       (Cdbs_analysis.Diagnostic.errors
+          (Cdbs_analysis.Check_allocation.check_dense t)));
+  (* Corrupt: assign a read class somewhere without its data. *)
+  let c = inst.Dense.read_idx.(0) in
+  let b =
+    let rec find b = if Dense.holds t b c then find (b + 1) else b in
+    try find 0 with _ -> 0
+  in
+  if b < Dense.num_backends t then begin
+    t.Dense.assign.(b).(c) <- t.Dense.assign.(b).(c) +. 0.1;
+    let errs =
+      Cdbs_analysis.Diagnostic.errors
+        (Cdbs_analysis.Check_allocation.check_dense t)
+    in
+    Alcotest.(check bool) "flags ALC002/ALC003" true
+      (List.exists
+         (fun d ->
+           d.Cdbs_analysis.Diagnostic.code = "ALC002"
+           || d.Cdbs_analysis.Diagnostic.code = "ALC003")
+         errs)
+  end
+
+let clean_errs st =
+  List.length
+    (Cdbs_analysis.Diagnostic.errors
+       (Cdbs_analysis.Check_allocation.check_dense st))
+
+(* Add_update exercises the fragment->update CSR rebuild (the only delta
+   that forces it): the new class must land in the CSR and be ROWA-pinned. *)
+let test_repair_add_update () =
+  let rng = Rng.create 21 in
+  let inst =
+    Dense.synthetic ~rng ~fragments:400 ~reads:100 ~updates:25 ~backends:8 ()
+  in
+  let t = Dense.greedy inst in
+  let st, _ =
+    Incremental.repair t
+      [
+        Incremental.Add_update
+          { id = "u+new"; weight = 0.01; frags = [| 0; 1; 2; 3 |] };
+      ]
+  in
+  Alcotest.(check int) "clean" 0 (clean_errs st);
+  let i2 = st.Dense.inst in
+  let c = i2.Dense.n_classes - 1 in
+  Alcotest.(check string) "appended id" "u+new" i2.Dense.class_id.(c);
+  Alcotest.(check bool) "is update" true (Dense.is_update i2 c);
+  Alcotest.(check bool) "pinned somewhere" true (st.Dense.upd_pins.(c) > 0);
+  let listed = ref false in
+  for k = i2.Dense.frag_upd_off.(0) to i2.Dense.frag_upd_off.(1) - 1 do
+    if i2.Dense.frag_upd.(k) = c then listed := true
+  done;
+  Alcotest.(check bool) "fragment->update CSR rebuilt" true !listed
+
+(* Two repairs over copies sharing one base instance: the first claims the
+   in-place slack, the second must fall back to copying — neither sibling
+   (nor the untouched original) may observe the other's appended class. *)
+let test_repair_sibling_extensions () =
+  let rng = Rng.create 23 in
+  let inst =
+    Dense.synthetic ~rng ~fragments:300 ~reads:80 ~updates:20 ~backends:6 ()
+  in
+  let t = Dense.greedy inst in
+  let a = Dense.copy t and b = Dense.copy t in
+  let sa, _ =
+    Incremental.repair a
+      [ Incremental.Add_read { id = "qa"; weight = 0.01; frags = [| 1; 2 |] } ]
+  in
+  let sb, _ =
+    Incremental.repair b
+      [
+        Incremental.Add_read { id = "qb"; weight = 0.01; frags = [| 5; 6; 7 |] };
+      ]
+  in
+  let last st =
+    st.Dense.inst.Dense.class_id.(st.Dense.inst.Dense.n_classes - 1)
+  in
+  Alcotest.(check string) "first sibling appends its class" "qa" (last sa);
+  Alcotest.(check string) "second sibling appends its class" "qb" (last sb);
+  Alcotest.(check int) "first sibling clean" 0 (clean_errs sa);
+  Alcotest.(check int) "second sibling clean" 0 (clean_errs sb);
+  Alcotest.(check int) "original untouched and clean" 0 (clean_errs t);
+  Alcotest.(check int) "original class count unchanged"
+    inst.Dense.n_classes t.Dense.inst.Dense.n_classes
+
+(* Chained repairs keep appending into the same physical arrays (each link
+   consumes the previous state); the end state must stay checker-clean. *)
+let test_repair_chained () =
+  let rng = Rng.create 29 in
+  let inst =
+    Dense.synthetic ~rng ~fragments:300 ~reads:80 ~updates:20 ~backends:6 ()
+  in
+  let st = ref (Dense.greedy inst) in
+  for i = 1 to 5 do
+    let d = Incremental.random_delta ~rng ~frac:0.05 !st in
+    let d =
+      Incremental.Add_read
+        {
+          id = Printf.sprintf "qc%d" i;
+          weight = 0.005;
+          frags = [| i; i + 1 |];
+        }
+      :: d
+    in
+    let st', _ = Incremental.repair !st d in
+    st := st'
+  done;
+  Alcotest.(check int) "clean after 5 chained repairs" 0 (clean_errs !st);
+  Alcotest.(check bool) "classes accumulated" true
+    (!st.Dense.inst.Dense.n_classes >= inst.Dense.n_classes + 5)
+
+let test_pool_map_matches_sequential () =
+  let arr = Array.init 37 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let seq = Array.map f arr in
+  List.iter
+    (fun d ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains=%d" d)
+        seq
+        (Cdbs_util.Pool.map ~domains:d f arr))
+    [ 1; 2; 4; 8 ]
+
+let test_pool_propagates_exceptions () =
+  match
+    Cdbs_util.Pool.map ~domains:2
+      (fun x -> if x = 3 then failwith "boom" else x)
+      [| 1; 2; 3; 4 |]
+  with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m
+
+let test_synthetic_greedy_clean () =
+  let rng = Rng.create 42 in
+  let inst =
+    Dense.synthetic ~materialize:true ~rng ~fragments:400 ~reads:120
+      ~updates:30 ~backends:8 ()
+  in
+  let dense = Dense.greedy inst in
+  let alloc = Dense.to_allocation dense in
+  (match Allocation.validate alloc with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es));
+  Alcotest.(check bool) "scale >= 1" true (Dense.scale dense >= 1.)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_dense_greedy_matches_legacy;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_repair_clean;
+    QCheck_alcotest.to_alcotest prop_repair_preserves_ksafety;
+    QCheck_alcotest.to_alcotest prop_memetic_par_deterministic;
+    Alcotest.test_case "repair budget=0 adds no rebalance copies" `Quick
+      test_repair_budget_zero;
+    Alcotest.test_case "repair on 1% delta moves few fragments" `Quick
+      test_repair_moves_o_delta;
+    Alcotest.test_case "check_dense flags corruption" `Quick
+      test_check_dense_flags_corruption;
+    Alcotest.test_case "repair Add_update rebuilds the update CSR" `Quick
+      test_repair_add_update;
+    Alcotest.test_case "sibling extensions of one base stay isolated" `Quick
+      test_repair_sibling_extensions;
+    Alcotest.test_case "chained repairs stay clean" `Quick test_repair_chained;
+    Alcotest.test_case "pool map = sequential map" `Quick
+      test_pool_map_matches_sequential;
+    Alcotest.test_case "pool propagates exceptions" `Quick
+      test_pool_propagates_exceptions;
+    Alcotest.test_case "synthetic greedy is valid" `Quick
+      test_synthetic_greedy_clean;
+  ]

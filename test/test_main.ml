@@ -7,6 +7,7 @@ let () =
       ("stats-index", Test_stats_index.suite);
       ("core-model", Test_core_model.suite);
       ("allocation", Test_allocation.suite);
+      ("dense", Test_dense.suite);
       ("physical", Test_physical.suite);
       ("ksafety", Test_ksafety.suite);
       ("faults", Test_faults.suite);
