@@ -974,6 +974,9 @@ let chaos_cmd =
       String.concat ","
         (Array.to_list (Array.map (Printf.sprintf "%.4f") a))
     in
+    (* The control-loop triple is structurally zero here (no loop runs in
+       this scenario); the fields are present so the day/chaos/autotune
+       JSON payloads share one schema. *)
     if json then
       Printf.printf
         "{\"seed\":%d,\"backends\":%d,\"k\":%d,\"zones\":%d,\"mtbf\":%g,\
@@ -987,7 +990,8 @@ let chaos_cmd =
          \"utilization\":[%s],\
          \"cancelled_work_s\":%.3f,\"catch_up_mb\":%.3f,\"recoveries\":%d,\
          \"downtime_s\":%.3f,\"max_concurrent_down\":%d,\
-         \"trace_dropped\":%d,\"monitor_violations\":%d}\n"
+         \"trace_dropped\":%d,\"monitor_violations\":%d,\
+         \"reallocations\":0,\"rollbacks\":0,\"drift_score\":0}\n"
         seed n k zones mtbf mttr duration rate (List.length faults) crashes
         partitions zone_outages fo.Sim.offered fo.Sim.run.Sim.completed
         fo.Sim.availability fo.Sim.aborted fo.Sim.timeouts
@@ -1287,6 +1291,17 @@ let day_cmd =
             "Attach the protocol monitor to the day's event stream and exit \
              non-zero on any temporal-invariant violation.")
   in
+  let autotune_arg =
+    Arg.(
+      value & flag
+      & info [ "autotune" ]
+          ~doc:
+            "Compose the self-healing control loop into the day: measured \
+             drift triggers guarded live reallocations with canary + \
+             rollback alongside the autoscaler.  Implies $(b,--monitor) — \
+             the run is gated on a clean protocol monitor (TRC016-018 \
+             verify the control protocol).")
+  in
   let trace_capacity_arg =
     Arg.(
       value & opt (some int) None
@@ -1299,7 +1314,7 @@ let day_cmd =
              analysis.")
   in
   let run smoke seed scale window_minutes out json min_avail max_p99 max_shed
-      with_monitor trace_capacity =
+      with_monitor autotune trace_capacity =
     let base = if smoke then Fd.smoke else Fd.default in
     (match trace_capacity with
     | Some n when n <= 0 ->
@@ -1315,19 +1330,24 @@ let day_cmd =
           Option.value window_minutes ~default:base.Fd.window_minutes;
         trace_capacity =
           Option.value trace_capacity ~default:base.Fd.trace_capacity;
+        autotune;
       }
     in
+    (* --autotune is gated on a clean monitor: the control protocol is
+       only trustworthy if TRC016-018 watched it. *)
     let monitor =
-      if with_monitor then Some (Cdbs_analysis.Monitor.create ()) else None
+      if with_monitor || autotune then Some (Cdbs_analysis.Monitor.create ())
+      else None
     in
     let r = Fd.run ~params ?monitor () in
     let mv = Option.map Cdbs_analysis.Monitor.violations monitor in
     if json then print_endline (Fd.to_json ?monitor_violations:mv r)
     else begin
       Fmt.pr
-        "day: seed %d, scale %g, %g-minute windows, %d-%d nodes@."
+        "day: seed %d, scale %g, %g-minute windows, %d-%d nodes%s@."
         params.Fd.seed params.Fd.scale params.Fd.window_minutes
-        params.Fd.nodes_min params.Fd.nodes_max;
+        params.Fd.nodes_min params.Fd.nodes_max
+        (if autotune then ", autotune on" else "");
       Fmt.pr "%a@." Slo.pp r.Fd.report;
       Fmt.pr "%d events in %.1f s (%.0f events/s)@." r.Fd.events r.Fd.wall_s
         r.Fd.events_per_s
@@ -1372,7 +1392,7 @@ let day_cmd =
     Term.(
       const run $ smoke_arg $ seed_arg $ scale_arg $ window_arg $ out_arg
       $ json_arg $ min_avail_arg $ max_p99_arg $ max_shed_arg $ monitor_arg
-      $ trace_capacity_arg)
+      $ autotune_arg $ trace_capacity_arg)
 
 (* ------------------------------------------------------------------ *)
 (* alloc — massive-instance allocator benchmark                        *)
@@ -1576,6 +1596,170 @@ let alloc_cmd =
       $ max_moved_arg $ json_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
+(* autotune — self-tuning vs static under workload drift               *)
+(* ------------------------------------------------------------------ *)
+
+let autotune_cmd =
+  let module Fdr = Cdbs_experiments.Fig_drift in
+  let module Slo = Cdbs_telemetry.Slo_report in
+  let module Mon = Cdbs_analysis.Monitor in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Run the scaled-down CI preset (shorter windows, lower rate) \
+             instead of the full drift experiment.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Random seed (deterministic; default from the preset).")
+  in
+  let chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Add crash/recover renewals and a seeded workload-shift stream \
+             (shared verbatim by both arms): drift and crashes together.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Also write the BENCH_drift.json payload to $(docv).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the BENCH_drift.json payload on stdout instead of text.")
+  in
+  let monitor_arg =
+    Arg.(
+      value & flag
+      & info [ "monitor" ]
+          ~doc:
+            "Attach the protocol monitor to both arms' event streams \
+             (serving protocol plus the control protocol, TRC016-018) and \
+             exit non-zero on any violation.")
+  in
+  let require_win_arg =
+    Arg.(
+      value & flag
+      & info [ "require-win" ]
+          ~doc:
+            "Exit non-zero unless the self-tuning arm beats the static arm \
+             on both p99 and availability — the CI headline gate.")
+  in
+  let min_avail_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "min-availability" ] ~docv:"FRAC"
+          ~doc:
+            "Exit non-zero if the self-tuning arm's availability falls \
+             below $(docv).")
+  in
+  let max_p99_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "max-p99-ms" ] ~docv:"MS"
+          ~doc:
+            "Exit non-zero if the self-tuning arm's p99 latency exceeds \
+             $(docv).")
+  in
+  let run smoke seed chaos json out with_monitor require_win min_avail max_p99
+      =
+    let base = if smoke then Fdr.smoke else Fdr.default in
+    let params =
+      {
+        base with
+        Fdr.seed = Option.value seed ~default:base.Fdr.seed;
+        chaos = chaos || base.Fdr.chaos;
+      }
+    in
+    let monitor = if with_monitor then Some (Mon.create ()) else None in
+    let r = Fdr.run ~params ?monitor () in
+    let mv = Option.map Mon.violations monitor in
+    if json then print_endline (Fdr.to_json ?monitor_violations:mv r)
+    else begin
+      Fmt.pr
+        "autotune: seed %d, %d windows x %g min, %d nodes, step at window \
+         %d%s@."
+        params.Fdr.seed params.Fdr.windows params.Fdr.window_minutes
+        params.Fdr.nodes params.Fdr.step_window
+        (if params.Fdr.chaos then ", chaos on" else "");
+      Fmt.pr "@.static allocation:@.%a@." Slo.pp r.Fdr.static_.Fdr.report;
+      Fmt.pr "@.self-tuning:@.%a@." Slo.pp r.Fdr.tuned.Fdr.report;
+      Fmt.pr
+        "@.reallocations %d (%d rolled back, %d committed), peak drift \
+         %.2f@."
+        r.Fdr.reallocations r.Fdr.rollbacks r.Fdr.commits r.Fdr.peak_drift;
+      Fmt.pr
+        "verdict: self-tuning %s (p99 %.0f ms vs %.0f ms, availability \
+         %.4f vs %.4f)@."
+        (if Fdr.verdict r then "wins" else "does NOT win")
+        (1000. *. r.Fdr.tuned.Fdr.report.Slo.p99_s)
+        (1000. *. r.Fdr.static_.Fdr.report.Slo.p99_s)
+        r.Fdr.tuned.Fdr.report.Slo.availability
+        r.Fdr.static_.Fdr.report.Slo.availability;
+      Fmt.pr "%d events in %.1f s (%.0f events/s)@." r.Fdr.events r.Fdr.wall_s
+        r.Fdr.events_per_s
+    end;
+    (match out with
+    | Some path ->
+        Fdr.write_json ?monitor_violations:mv ~path r;
+        if not json then Fmt.pr "wrote %s@." path
+    | None -> ());
+    let gate =
+      Slo.gate ?min_availability:min_avail
+        ?max_p99_s:(Option.map (fun ms -> ms /. 1000.) max_p99)
+        ()
+    in
+    let violations = Slo.check gate r.Fdr.tuned.Fdr.report in
+    if violations <> [] then begin
+      List.iter (fun v -> Fmt.epr "autotune: %s@." v) violations;
+      exit 1
+    end;
+    if require_win && not (Fdr.verdict r) then begin
+      Fmt.epr
+        "autotune: self-tuning did not beat the static allocation (p99 \
+         %.1f ms vs %.1f ms, availability %.6f vs %.6f)@."
+        (1000. *. r.Fdr.tuned.Fdr.report.Slo.p99_s)
+        (1000. *. r.Fdr.static_.Fdr.report.Slo.p99_s)
+        r.Fdr.tuned.Fdr.report.Slo.availability
+        r.Fdr.static_.Fdr.report.Slo.availability;
+      exit 1
+    end;
+    match monitor with
+    | None -> ()
+    | Some m ->
+        if not json then
+          Fmt.pr "monitor: %d events observed, %d violation%s@."
+            (Mon.events_seen m) (Mon.violations m)
+            (if Mon.violations m = 1 then "" else "s");
+        if not (Mon.clean m) then begin
+          Fmt.epr "%a" Diag.pp_report (Mon.report m);
+          Fmt.epr "autotune: protocol monitor found %d violation%s@."
+            (Mon.violations m)
+            (if Mon.violations m = 1 then "" else "s");
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "autotune"
+       ~doc:
+         "Run the workload-drift experiment: the self-healing control loop \
+          (measured cost model, drift detection, guarded live reallocation \
+          with canary + automatic rollback) against a static allocation \
+          under an adversarial step-change, with SLO gates for CI")
+    Term.(
+      const run $ smoke_arg $ seed_arg $ chaos_arg $ json_arg $ out_arg
+      $ monitor_arg $ require_win_arg $ min_avail_arg $ max_p99_arg)
+
+(* ------------------------------------------------------------------ *)
 (* verify-trace — the protocol sanitizer                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1636,6 +1820,9 @@ let verify_trace_cmd =
         ("none", `None); ("breaker-hop", `Breaker_hop); ("rejoin", `Rejoin);
         ("deadline", `Deadline); ("down-serve", `Down_serve);
         ("split-brain", `Split_brain);
+        ("overlap-realloc", `Overlap_realloc);
+        ("cooldown-trigger", `Cooldown_trigger);
+        ("rogue-rollback", `Rogue_rollback);
       ]
   in
   let inject_arg =
@@ -1652,7 +1839,11 @@ let verify_trace_cmd =
              a crashed backend (TRC003), $(b,split-brain) walks the whole \
              partition pathology: a serve while isolated (TRC013), a read \
              on a fenced backend after the heal (TRC015) and a non-monotonic \
-             fencing epoch (TRC014).")
+             fencing epoch (TRC014).  The control-loop protocol: \
+             $(b,overlap-realloc) starts a reallocation while another is in \
+             flight (TRC016), $(b,cooldown-trigger) fires a drift trigger \
+             inside the post-action cooldown (TRC017), $(b,rogue-rollback) \
+             rolls back with no guardrail breach (TRC018).")
   in
   let run n seed k mtbf mttr duration rate deadline json strict inject =
     (* The sanitizer reports; like check, it must not trip the in-engine
@@ -1712,8 +1903,8 @@ let verify_trace_cmd =
     let injected =
       match inject with
       | `None -> None
-      | (`Breaker_hop | `Rejoin | `Deadline | `Down_serve | `Split_brain) as f
-        ->
+      | ( `Breaker_hop | `Rejoin | `Deadline | `Down_serve | `Split_brain
+        | `Overlap_realloc | `Cooldown_trigger | `Rogue_rollback ) as f ->
           ev 0. "run.start"
             [ ("backends", Tel.Trace.Int n); ("offered", Tel.Trace.Int 0) ];
           Some
@@ -1799,7 +1990,37 @@ let verify_trace_cmd =
                     ("replay_mb", Tel.Trace.Float 0.);
                   ];
                 "served while partitioned, read through the heal fence, \
-                 stale fencing epoch")
+                 stale fencing epoch"
+            | `Overlap_realloc ->
+                ev 1. "control.session" [];
+                ev 2. "control.reallocate.start"
+                  [
+                    ("id", Tel.Trace.Int 1);
+                    ("moved_mb", Tel.Trace.Float 64.);
+                  ];
+                ev 3. "control.reallocate.start"
+                  [
+                    ("id", Tel.Trace.Int 2);
+                    ("moved_mb", Tel.Trace.Float 32.);
+                  ];
+                "second reallocation started while the first is still in \
+                 flight"
+            | `Cooldown_trigger ->
+                ev 1. "control.session" [];
+                ev 2. "control.reallocate.start" [ ("id", Tel.Trace.Int 1) ];
+                ev 3. "control.commit" [ ("id", Tel.Trace.Int 1) ];
+                ev 4. "control.trigger"
+                  [
+                    ("score", Tel.Trace.Float 2.);
+                    ("threshold", Tel.Trace.Float 1.);
+                    ("cooldown_s", Tel.Trace.Float 600.);
+                  ];
+                "drift trigger inside the post-action cooldown"
+            | `Rogue_rollback ->
+                ev 1. "control.session" [];
+                ev 2. "control.reallocate.start" [ ("id", Tel.Trace.Int 1) ];
+                ev 3. "control.rollback" [ ("id", Tel.Trace.Int 1) ];
+                "rollback with no guardrail breach since the cutover")
     in
     let diags = Diag.sort (static_diags @ Mon.report monitor) in
     let errors = List.length (Diag.errors diags) in
@@ -1894,5 +2115,5 @@ let () =
           [
             classify_cmd; allocate_cmd; simulate_cmd; experiment_cmd;
             migrate_cmd; check_cmd; chaos_cmd; overload_cmd; day_cmd;
-            alloc_cmd; verify_trace_cmd; journalgen_cmd;
+            alloc_cmd; autotune_cmd; verify_trace_cmd; journalgen_cmd;
           ]))

@@ -83,6 +83,9 @@ let check_schedule ?k ?zone_of ~num_backends (schedule : Fault.schedule) =
                      factor)
           | Fault.Partition _ | Fault.ZoneOutage _ ->
               (* Removed by the expansion below; unreachable. *)
+              ()
+          | Fault.Workload_shift _ ->
+              (* Drift targets no backend; nothing to track here. *)
               ())
         (Fault.sort (List.concat_map expand (Fault.sort schedule)));
       Array.iteri

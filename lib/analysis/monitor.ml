@@ -25,6 +25,12 @@ type t = {
   spans : (string, int) Hashtbl.t;  (* base name -> starts - ends *)
   floors : (string, int) Hashtbl.t;  (* class id -> migration replica floor *)
   epochs : (int, int) Hashtbl.t;  (* backend -> fencing epoch of last heal *)
+  (* Control-loop state.  A control session spans many windows — each of
+     which is its own simulator run emitting ["run.start"] — so these
+     fields survive [reset_run] and reset only at ["control.session"]. *)
+  mutable ctl_active : int option;  (* reallocation id in flight *)
+  mutable ctl_breach : bool;  (* guardrail breach seen since realloc start *)
+  mutable ctl_last_action : float;  (* time of last commit/rollback *)
   mutable attachments : (Trace.t * Trace.subscription) list;
 }
 
@@ -43,6 +49,9 @@ let create () =
     spans = Hashtbl.create 8;
     floors = Hashtbl.create 8;
     epochs = Hashtbl.create 8;
+    ctl_active = None;
+    ctl_breach = false;
+    ctl_last_action = neg_infinity;
     attachments = [];
   }
 
@@ -93,6 +102,9 @@ let str_attr t e key k =
 
 let opt_float e key =
   match attr e key with Some (Trace.Float f) -> Some f | _ -> None
+
+let float_attr t e key k =
+  match attr e key with Some (Trace.Float f) -> k f | _ -> missing t e key
 
 let bsub b = Printf.sprintf "backend B%d" (b + 1)
 
@@ -443,6 +455,102 @@ let on_migration_live t (e : Trace.event) =
            replicas e.Trace.at floor)
   | _ -> ()
 
+(* --- Control loop (TRC016/TRC017/TRC018) --------------------------- *)
+
+let on_control_session t (_e : Trace.event) =
+  t.ctl_active <- None;
+  t.ctl_breach <- false;
+  t.ctl_last_action <- neg_infinity
+
+let on_control_trigger t (e : Trace.event) =
+  (match t.ctl_active with
+  | Some id ->
+      add t
+        (Diagnostic.error ~code:"TRC016" ~subject:"control"
+           ~data:
+             [
+               ("at", Diagnostic.Num e.Trace.at);
+               ("in_flight", Diagnostic.Int id);
+             ]
+           "drift trigger at %g while reallocation %d is still in flight"
+           e.Trace.at id)
+  | None -> ());
+  float_attr t e "cooldown_s" @@ fun cooldown_s ->
+  if e.Trace.at < t.ctl_last_action +. cooldown_s then
+    add t
+      (Diagnostic.error ~code:"TRC017" ~subject:"control"
+         ~data:
+           [
+             ("at", Diagnostic.Num e.Trace.at);
+             ("last_action", Diagnostic.Num t.ctl_last_action);
+             ("cooldown_s", Diagnostic.Num cooldown_s);
+           ]
+         "drift trigger at %g inside the post-action cooldown (last action \
+          %g + cooldown %g s)"
+         e.Trace.at t.ctl_last_action cooldown_s)
+
+let on_control_realloc_start t (e : Trace.event) =
+  int_attr t e "id" @@ fun id ->
+  (match t.ctl_active with
+  | Some prev ->
+      add t
+        (Diagnostic.error ~code:"TRC016" ~subject:"control"
+           ~data:
+             [
+               ("at", Diagnostic.Num e.Trace.at);
+               ("id", Diagnostic.Int id);
+               ("in_flight", Diagnostic.Int prev);
+             ]
+           "reallocation %d started at %g while reallocation %d is still in \
+            flight"
+           id e.Trace.at prev)
+  | None -> ());
+  t.ctl_active <- Some id;
+  t.ctl_breach <- false
+
+let on_control_breach t (_e : Trace.event) =
+  if t.ctl_active <> None then t.ctl_breach <- true
+
+let ctl_finish t (e : Trace.event) ~what ~needs_breach =
+  int_attr t e "id" @@ fun id ->
+  (match t.ctl_active with
+  | None ->
+      add t
+        (Diagnostic.error ~code:"TRC016" ~subject:"control"
+           ~data:
+             [
+               ("at", Diagnostic.Num e.Trace.at); ("id", Diagnostic.Int id);
+             ]
+           "%s of reallocation %d at %g with no reallocation in flight" what
+           id e.Trace.at)
+  | Some active when active <> id ->
+      add t
+        (Diagnostic.error ~code:"TRC016" ~subject:"control"
+           ~data:
+             [
+               ("at", Diagnostic.Num e.Trace.at);
+               ("id", Diagnostic.Int id);
+               ("in_flight", Diagnostic.Int active);
+             ]
+           "%s names reallocation %d at %g but reallocation %d is in flight"
+           what id e.Trace.at active)
+  | Some _ -> ());
+  if needs_breach && not t.ctl_breach then
+    add t
+      (Diagnostic.error ~code:"TRC018" ~subject:"control"
+         ~data:
+           [ ("at", Diagnostic.Num e.Trace.at); ("id", Diagnostic.Int id) ]
+         "rollback of reallocation %d at %g with no guardrail breach since \
+          it started"
+         id e.Trace.at);
+  t.ctl_active <- None;
+  t.ctl_breach <- false;
+  t.ctl_last_action <- e.Trace.at
+
+let on_control_rollback t e = ctl_finish t e ~what:"rollback" ~needs_breach:true
+
+let on_control_commit t e = ctl_finish t e ~what:"commit" ~needs_breach:false
+
 (* Span pairing is purely name-suffix driven, so it covers user spans as
    well as engine events.  Unclosed spans are deliberately not flagged:
    experiment-level events such as ["migration.start"] legitimately have
@@ -495,6 +603,12 @@ let observe t (e : Trace.event) =
   | "run.summary" -> on_summary t e
   | "migration.floor" -> on_migration_floor t e
   | "migration.live" -> on_migration_live t e
+  | "control.session" -> on_control_session t e
+  | "control.trigger" -> on_control_trigger t e
+  | "control.reallocate.start" -> on_control_realloc_start t e
+  | "control.breach" -> on_control_breach t e
+  | "control.rollback" -> on_control_rollback t e
+  | "control.commit" -> on_control_commit t e
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)

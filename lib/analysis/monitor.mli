@@ -47,12 +47,24 @@
       (stale serve after a partition heal — split-brain), a fence lift of
       a backend that is not fenced, or a fenced backend completing
       catch-up without lifting its fence
+    - [TRC016] no overlapping reallocations: a ["control.reallocate.start"]
+      while another reallocation is in flight, a drift trigger fired
+      mid-reallocation, or a commit/rollback that names no (or the wrong)
+      in-flight reallocation
+    - [TRC017] cooldown respected: a ["control.trigger"] timestamped
+      inside the post-action cooldown window its own [cooldown_s]
+      attribute declares (measured from the last commit or rollback)
+    - [TRC018] every rollback pairs with a breach: a ["control.rollback"]
+      with no ["control.breach"] observed since its reallocation started
 
     Monitors are pure observers: they never emit into the trace and never
     perturb the run.  Protocol state (which backends are down or stale,
     breaker states, retry chains, span balances) resets at each
     ["run.start"] event, so one monitor can watch many sequential runs on
-    a shared sink — diagnostics accumulate across runs. *)
+    a shared sink — diagnostics accumulate across runs.  Control-loop
+    state (TRC016–018) deliberately survives ["run.start"]: a control
+    session spans many windows, each of which is its own simulator run;
+    it resets only at ["control.session"]. *)
 
 type t
 

@@ -12,6 +12,8 @@ module Backend = Cdbs_core.Backend
 module Physical = Cdbs_core.Physical
 module Planner = Cdbs_migration.Planner
 module Breaker = Cdbs_resilience.Breaker
+module Workload = Cdbs_core.Workload
+module Drift = Cdbs_control.Drift
 
 type backend_state = {
   mutable db : Database.t;
@@ -69,6 +71,9 @@ type t = {
   mutable processed : int;
   mutable total_cost : float;
   mutable clock : float;
+  mutable tuner : Drift.t option;
+      (* drift detector behind [autotune]; created on first use, its
+         clock (like the breaker's) is the request counter *)
 }
 
 let create ~schema ~rows ~backends ~seed =
@@ -100,6 +105,7 @@ let create ~schema ~rows ~backends ~seed =
     processed = 0;
     total_cost = 0.;
     clock = 0.;
+    tuner = None;
   }
 
 (* Deterministic cost estimate, the paper's "cost estimation from the
@@ -333,16 +339,18 @@ let stats t = (t.processed, t.total_cost)
 (* Classify the history and compute the next allocation, plus the fragment
    sets describing what each backend stores right now — shared by the
    offline rebuild and the live migration paths. *)
+let classified_workload t =
+  let size_of = Classification.default_sizes ~schema:t.schema ~rows:t.rows in
+  Classification.classify ~schema:t.schema ~size_of Classification.By_table
+    t.journal
+
 let compute_target t ~iterations =
   if Journal.length t.journal = 0 then Error "empty query history"
   else begin
     let size_of =
       Classification.default_sizes ~schema:t.schema ~rows:t.rows
     in
-    let workload =
-      Classification.classify ~schema:t.schema ~size_of
-        Classification.By_table t.journal
-    in
+    let workload = classified_workload t in
     let backends = Backend.homogeneous (Array.length t.backends) in
     let params =
       { Memetic.default_params with Memetic.iterations }
@@ -483,6 +491,57 @@ let reallocate_live t ?iterations ?bandwidth_mb_per_request () =
         drive_migration t ()
       done;
       Ok plan.Planner.copy_mb
+
+(* ------------------------------------------------------------------ *)
+(* Self-tuning: measured journal mix vs the deployed assumption         *)
+(* ------------------------------------------------------------------ *)
+
+type autotune_outcome =
+  | Tuned of { score : float; shipped_mb : float }
+  | No_drift of float
+  | Insufficient_history
+  | Migration_in_progress
+  | Tune_failed of string
+
+let read_mix (w : Workload.t) =
+  List.map
+    (fun (c : Cdbs_core.Query_class.t) -> (c.Cdbs_core.Query_class.id, c.Cdbs_core.Query_class.weight))
+    w.Workload.reads
+
+let autotune t ?(drift = Drift.default) ?(iterations = 40)
+    ?(bandwidth_mb_per_request = 5.) ?(min_requests = 50) () =
+  let tuner =
+    match t.tuner with
+    | Some d when Drift.config d = drift -> d
+    | _ ->
+        let d = Drift.create drift in
+        t.tuner <- Some d;
+        d
+  in
+  if t.migration <> None then Migration_in_progress
+  else if Journal.length t.journal < max 1 min_requests then
+    Insufficient_history
+  else begin
+    let measured = read_mix (classified_workload t) in
+    let score =
+      match t.allocation with
+      | None ->
+          (* Still fully replicated: no assumed mix has ever been
+             deployed, so any measurable history is full drift. *)
+          infinity
+      | Some a -> Drift.score ~assumed:(read_mix (Allocation.workload a)) ~measured
+    in
+    if not (Drift.update tuner ~now:t.clock ~score) then
+      No_drift score
+    else
+      match reallocate_live t ~iterations ~bandwidth_mb_per_request () with
+      | Error e ->
+          Drift.action_done tuner ~now:t.clock;
+          Tune_failed e
+      | Ok shipped_mb ->
+          Drift.action_done tuner ~now:t.clock;
+          Tuned { score; shipped_mb }
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Crash / rejoin lifecycle and k-safety self-repair                   *)

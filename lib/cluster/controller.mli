@@ -117,6 +117,36 @@ val stats : t -> int * float
 (** [(processed, total_cost)]: requests processed and their accumulated
     cost since creation. *)
 
+(** {1 Self-tuning} *)
+
+type autotune_outcome =
+  | Tuned of { score : float; shipped_mb : float }
+      (** drift fired and the live reallocation completed *)
+  | No_drift of float  (** the detector did not fire; the score observed *)
+  | Insufficient_history  (** fewer than [min_requests] journal entries *)
+  | Migration_in_progress
+  | Tune_failed of string  (** detector fired but the reallocation errored *)
+
+val autotune :
+  t ->
+  ?drift:Cdbs_control.Drift.config ->
+  ?iterations:int ->
+  ?bandwidth_mb_per_request:float ->
+  ?min_requests:int ->
+  unit ->
+  autotune_outcome
+(** One turn of the self-healing control loop over the live prototype:
+    classify the query history at table granularity, score the measured
+    read mix against the deployed allocation's assumed weights
+    ({!Cdbs_control.Drift.score}; a still-fully-replicated controller
+    counts as infinite drift), and when the detector fires run
+    {!reallocate_live} to completion.  The detector persists across
+    calls — hysteresis and cooldown apply — and is replaced whenever a
+    different [drift] config is passed.  Like the breaker, its clock is
+    the request counter, so [cooldown_s] is measured in submitted
+    statements.  [min_requests] (default 50) guards against tuning on a
+    thin history. *)
+
 (** {1 Crash / rejoin lifecycle and k-safety self-repair}
 
     A failed backend takes no traffic: reads route to surviving holders,

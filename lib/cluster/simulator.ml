@@ -677,7 +677,8 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
             ~time:(f.Fault.at +. duration)
             ~rank:0
             (Ev_cut { backends = members; heal = true; zone = Some zone })
-      | Fault.Crash _ | Fault.Recover _ | Fault.Slowdown _ ->
+      | Fault.Crash _ | Fault.Recover _ | Fault.Slowdown _
+      | Fault.Workload_shift _ ->
           Heap.add q ~time:f.Fault.at ~rank:0 (Ev_fault f))
     (Fault.sort faults);
   List.iter
@@ -705,13 +706,22 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
     | Bk_catchup -> "catchup"
   in
   let serve_event ~at ~kind b ~start ~finish =
-    Tel.Sink.ev telemetry ~at "backend.serve"
+    let base =
       [
         ("backend", Tel.Trace.Int b);
         ("kind", Tel.Trace.Str (kind_label kind));
         ("start", Tel.Trace.Float start);
         ("finish", Tel.Trace.Float finish);
       ]
+    in
+    (* Reads carry their query-class id so online estimators can harvest
+       measured per-class service times straight off the trace. *)
+    let attrs =
+      match kind with
+      | Bk_read rc -> base @ [ ("cls", Tel.Trace.Str rc.rc_class) ]
+      | Bk_update | Bk_catchup -> base
+    in
+    Tel.Sink.ev telemetry ~at "backend.serve" attrs
   in
   let commit ~mb ~kind b (start, finish, service) =
     Scheduler.book sched ~backend:b ~finish;
@@ -1123,6 +1133,13 @@ let run_open_with_faults ?(policy = Retry.default) ?rng ?resilience ?telemetry
             ("duration_s", Tel.Trace.Float duration) ];
         slow_factor.(b) <- factor;
         slow_until.(b) <- now +. duration
+    | Fault.Workload_shift { mix } ->
+        (* The request stream is pre-generated, so the engine cannot
+           change arrivals mid-run; it announces the shift so monitors
+           and online estimators see drift on the event clock, and the
+           window-driving caller regenerates subsequent arrivals. *)
+        Tel.Sink.ev telemetry ~at:now "workload.shift"
+          [ ("classes", Tel.Trace.Int (List.length mix)) ]
     | Fault.Partition _ | Fault.ZoneOutage _ ->
         (* Expanded into [Ev_cut] start/heal pairs when the heap was
            loaded; never reaches the clock in this shape. *)

@@ -78,7 +78,17 @@ let extend_instance (inst : Dense.instance) ~reweights ~added ~added_backends
   let kind, class_id, class_weight, class_off, class_frag, class_size =
     if in_place then begin
       inst.ext_used := true;
-      ( inst.kind, inst.class_id, inst.class_weight, inst.class_off,
+      (* Added-class slots (indices >= nc) are invisible to the old
+         instance, so those arrays may be reused — but a reweight writes
+         to a slot the old instance still reads.  [Dense.copy] shares
+         the instance, so mutating it here would corrupt the copy's
+         siblings (the pre-delta allocation the caller kept): reweights
+         get a fresh weight array. *)
+      let class_weight =
+        if reweights = [] then inst.class_weight
+        else Array.copy inst.class_weight
+      in
+      ( inst.kind, inst.class_id, class_weight, inst.class_off,
         inst.class_frag, inst.class_size )
     end
     else begin
@@ -352,8 +362,8 @@ let pin_update (st : Dense.t) b u =
   end;
   ignore (install_class st b u)
 
-let repair ?(k = 0) ?topology ?budget (t : Dense.t) (deltas : delta list) :
-    Dense.t * stats =
+let repair ?(k = 0) ?topology ?budget ?(balance = false) (t : Dense.t)
+    (deltas : delta list) : Dense.t * stats =
   let open Dense in
   let old_inst = t.inst in
   let old_n = Array.length old_inst.backends in
@@ -391,9 +401,9 @@ let repair ?(k = 0) ?topology ?budget (t : Dense.t) (deltas : delta list) :
   and added_backends = Array.of_list (List.rev !added_backends)
   and retired_backends = List.rev !retired_backends in
   (* Deduplicate reweights (last write wins) and capture each class's
-     pre-delta weight before extend_instance overwrites it in place:
-     scaling a read assignment by w1/w0 must see the original weight
-     exactly once, or repeated reweights of one class compound. *)
+     pre-delta weight: scaling a read assignment by w1/w0 must see the
+     original weight exactly once, or repeated reweights of one class
+     compound. *)
   let reweights =
     let seen = Hashtbl.create 16 in
     List.rev reweights_raw
@@ -649,6 +659,100 @@ let repair ?(k = 0) ?topology ?budget (t : Dense.t) (deltas : delta list) :
         end
       done)
     added_backends;
+  (* ---- 5b. optional global balance pass ---------------------------- *)
+  (* With [balance], shift read weight from the most-loaded alive backend
+     to the least-loaded one — installing the missing fragments, within
+     the remaining fragment budget — until relative loads are within 5 %
+     of each other, the budget runs dry, or no admissible class remains.
+     A drift-triggered [Reweight] rescales in place and moves no data, so
+     a workload shift concentrated on a hot class's few replicas would
+     stay concentrated; this pass is what turns the reweight into extra
+     replicas of the hot classes on underloaded backends. *)
+  if balance then begin
+    let guard = ref (4 * (inst.n_classes + num_backends st)) in
+    let continue_ = ref true in
+    while !continue_ && !budget_left > 0 && !guard > 0 do
+      decr guard;
+      continue_ := false;
+      let donor = ref (-1) and donor_r = ref neg_infinity in
+      let recv = ref (-1) and recv_r = ref infinity in
+      for b = 0 to num_backends st - 1 do
+        if st.b_alive.(b) && inst.loads.(b) > 0. then begin
+          let r = rel_load st b in
+          if r > !donor_r then begin
+            donor := b;
+            donor_r := r
+          end;
+          if r < !recv_r then begin
+            recv := b;
+            recv_r := r
+          end
+        end
+      done;
+      if
+        !donor >= 0 && !recv >= 0 && !donor <> !recv
+        && !donor_r > (!recv_r *. 1.05) +. Eps.assign
+      then begin
+        let d = !donor and nb = !recv in
+        Vec.filter_in_place (fun c -> st.assign.(d).(c) > 0.) st.active.(d);
+        (* The pairwise equalizing transfer: enough weight that both
+           ends meet at the same relative load, capped per class by what
+           the donor actually assigns to it. *)
+        let cap_d = inst.loads.(d) and cap_n = inst.loads.(nb) in
+        let equalize =
+          (!donor_r -. !recv_r) /. ((1. /. cap_d) +. (1. /. cap_n))
+        in
+        (* Pick the class moving the most load, tie-broken by fewer
+           missing fragments.  NOT load-per-missing-byte (the new-backend
+           fill's key): that prefers zero-copy shifts of already-shared
+           classes, which rebalance the model but grow no new replicas —
+           the entire point of this pass is to install the overloaded
+           (drifted-hot) classes on the underloaded backends. *)
+        let best_c = ref (-1) and best_amt = ref 0. in
+        let best_miss = ref max_int in
+        Vec.iter
+          (fun c ->
+            if st.c_alive.(c) then begin
+              let miss = ref 0 in
+              Dense.iter_footprint inst c (fun f ->
+                  if not (Bits.get st.held.(nb) f) then incr miss);
+              if !miss <= !budget_left then begin
+                let amt = min st.assign.(d).(c) equalize in
+                if
+                  amt > !best_amt +. Eps.assign
+                  || (amt > !best_amt -. Eps.assign && !miss < !best_miss)
+                then begin
+                  best_amt := amt;
+                  best_miss := !miss;
+                  best_c := c
+                end
+              end
+            end)
+          st.active.(d);
+        if !best_c >= 0 then begin
+          let c = !best_c in
+          let miss = ref !best_miss in
+          let amount = !best_amt in
+          if amount > Eps.assign then begin
+            touch c;
+            touch_held nb;
+            budget_left := !budget_left - !miss;
+            rebalance_frags := !rebalance_frags + !miss;
+            st.assign.(d).(c) <- st.assign.(d).(c) -. amount;
+            st.load.(d) <- st.load.(d) -. amount;
+            ignore (install_class st nb c);
+            add_assign st nb c amount;
+            st.load.(nb) <- st.load.(nb) +. amount;
+            if prune_allowed && st.assign.(d).(c) <= 0. then begin
+              touch_held d;
+              prune_backend st d
+            end;
+            continue_ := true
+          end
+        end
+      end
+    done
+  end;
   (* ---- 6. k-safety and spread for the touched cohort --------------- *)
   if k > 0 then begin
     let alive = n_alive st in

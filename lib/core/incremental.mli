@@ -54,14 +54,29 @@ val repair :
   ?k:int ->
   ?topology:Topology.t ->
   ?budget:int ->
+  ?balance:bool ->
   Dense.t ->
   delta list ->
   Dense.t * stats
 (** [budget] caps the number of fragment copies the {e optional}
-    rebalance (new-backend fill) may install; correctness moves —
-    update closure, Eq. 9/11 restoration, k-safety — are never
-    dropped.  With [k > 0] local pruning is disabled so standby
-    replicas of untouched classes survive the repair.
+    rebalance (new-backend fill, and the [balance] pass below) may
+    install; correctness moves — update closure, Eq. 9/11 restoration,
+    k-safety — are never dropped.  With [k > 0] local pruning is
+    disabled so standby replicas of untouched classes survive the
+    repair.
+
+    [balance] (default [false]) appends a global budget-bounded balance
+    pass: read weight shifts from the most-loaded alive backend to the
+    least-loaded one, each step picking the class with the {e most
+    transferable load} (the smaller of the donor's assigned weight and
+    the load-equalizing amount; ties prefer fewer missing fragments) and
+    installing whatever fragments the receiver is missing, until
+    relative loads agree within 5 % or the budget runs dry.  A bare [Reweight] rescales in place and
+    moves no data; with [balance] the same delta also grows extra
+    replicas of the now-hot classes on underloaded backends — the
+    mechanism the self-tuning control loop uses to turn measured drift
+    into a better placement.  Off by default: existing callers get
+    byte-identical repairs.
     @raise Invalid_argument on out-of-range indices or negative
     weights/capacities. *)
 

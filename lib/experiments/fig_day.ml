@@ -12,6 +12,7 @@ module Schedule = Cdbs_migration.Schedule
 module Rng = Cdbs_util.Rng
 module Res = Cdbs_resilience
 module Tel = Cdbs_telemetry
+module Loop = Cdbs_control.Loop
 
 type params = {
   seed : int;
@@ -26,6 +27,7 @@ type params = {
   mtbf : float;
   mttr : float;
   trace_capacity : int;
+  autotune : bool;
 }
 
 let default =
@@ -42,6 +44,7 @@ let default =
     mtbf = 7200.;
     mttr = 60.;
     trace_capacity = 8192;
+    autotune = false;
   }
 
 (* Same shape at ~3 % of the events; the tighter per-node capacity keeps
@@ -117,6 +120,18 @@ let run ?(params = default) ?monitor () =
   in
   let nodes = ref p.nodes_min in
   let alloc = ref (alloc_for ~hour:0. !nodes) in
+  (* The self-healing loop observes the same sink the day serves on.  It
+     re-measures from scratch after every autoscaler resize (the resize
+     resets the assumed mix via [set_allocation]); a control cutover's
+     canary blocks resizes for its duration, so the two reallocation
+     paths never overlap. *)
+  let loop =
+    if p.autotune then
+      Some (Loop.create ~config:Fig_drift.control_default ~sink
+              ~allocation:!alloc ())
+    else None
+  in
+  let pending_ctl = ref [] in
   let busy_acc = Array.make p.nodes_max 0. in
   let offered = ref 0 and completed = ref 0 in
   let shed = ref 0 and failed = ref 0 in
@@ -140,8 +155,14 @@ let run ?(params = default) ?monitor () =
        the window boundary while its copy traffic contends with foreground
        service on every backend it touches (one merged slowdown window per
        backend, clamped to this simulation window). *)
+    (* A control cutover's canary owns the cluster until it commits or
+       rolls back: the autoscaler stands down for those windows (TRC016
+       forbids overlapping reallocations). *)
+    let resizable =
+      match loop with Some l -> not (Loop.migrating l) | None -> true
+    in
     let mig_faults, migrating =
-      if target = !nodes then ([], false)
+      if target = !nodes || not resizable then ([], false)
       else begin
         let next = alloc_for ~hour target in
         let old_fragments =
@@ -163,6 +184,11 @@ let run ?(params = default) ?monitor () =
           [ ("copy_mb", Tel.Trace.Float plan.Planner.copy_mb) ];
         nodes := target;
         alloc := next;
+        (* The resize resets the loop's assumed mix: it re-measures
+           against the freshly planned allocation from here on. *)
+        (match loop with
+        | Some l -> Loop.set_allocation l next
+        | None -> ());
         let spans : (int, float * float) Hashtbl.t = Hashtbl.create 8 in
         let touch b s e =
           if b >= 0 && b < target && e > s then
@@ -207,11 +233,14 @@ let run ?(params = default) ?monitor () =
           correlated_mtbf = None;
           partition_prob = 0.5;
           zones = 1;
+          shift_mtbf = None;
+          shift_mixes = [];
         }
       |> List.map (fun (f : Fault.timed) ->
              { f with Fault.at = f.Fault.at +. t0 })
     in
-    let faults = Fault.sort (mig_faults @ chaos) in
+    let faults = Fault.sort (mig_faults @ !pending_ctl @ chaos) in
+    pending_ctl := [];
     faults_n := !faults_n + List.length faults;
     (* The window's offered load, arrivals uniform over the window. *)
     let wrng = Rng.split rng in
@@ -239,6 +268,69 @@ let run ?(params = default) ?monitor () =
       (fun b busy -> if b < p.nodes_max then
           busy_acc.(b) <- busy_acc.(b) +. busy)
       fo.Simulator.run.Simulator.busy;
+    let w_p99_ms = p99_ms_of fo.Simulator.responses in
+    (* Feed the window to the control loop and execute its directive as a
+       live migration cutting over at the next window boundary, with copy
+       contention exactly like a resize's. *)
+    (match loop with
+    | None -> ()
+    | Some loop ->
+        let availability =
+          if fo.Simulator.offered = 0 then 1.
+          else
+            float_of_int fo.Simulator.run.Simulator.completed
+            /. float_of_int fo.Simulator.offered
+        in
+        let migrate next =
+          let old_fragments =
+            List.init (Allocation.num_backends !alloc)
+              (Allocation.fragments_of !alloc)
+          in
+          let plan = Planner.make ~old_fragments next in
+          let t_next = t0 +. window_s in
+          let schedule =
+            Schedule.make ~start:t_next ~bandwidth:p.bandwidth_mb_s plan
+          in
+          bytes_moved := !bytes_moved +. plan.Planner.copy_mb;
+          incr migrations;
+          Tel.Sink.ev telemetry ~at:t_next "migration.start"
+            [ ("copy_mb", Tel.Trace.Float plan.Planner.copy_mb) ];
+          Tel.Sink.ev telemetry ~at:schedule.Schedule.copy_done
+            "migration.copy_done"
+            [ ("copy_mb", Tel.Trace.Float plan.Planner.copy_mb) ];
+          let spans : (int, float * float) Hashtbl.t = Hashtbl.create 8 in
+          let touch b s e =
+            if b >= 0 && b < !nodes && e > s then
+              match Hashtbl.find_opt spans b with
+              | None -> Hashtbl.replace spans b (s, e)
+              | Some (s0, e0) ->
+                  Hashtbl.replace spans b (min s0 s, max e0 e)
+          in
+          List.iter
+            (fun (tm : Schedule.timed_move) ->
+              let s = max t_next tm.Schedule.start in
+              let e = min (t_next +. window_s) tm.Schedule.finish in
+              touch tm.Schedule.move.Planner.dest s e;
+              match tm.Schedule.move.Planner.source with
+              | Some src -> touch src s e
+              | None -> ())
+            schedule.Schedule.moves;
+          pending_ctl :=
+            Hashtbl.fold
+              (fun b (s, e) acc ->
+                Fault.slowdown ~at:s ~backend:b
+                  ~factor:(1. +. p.copy_slowdown) ~duration:(e -. s)
+                :: acc)
+              spans [];
+          alloc := next
+        in
+        match
+          Loop.observe_window loop ~at:(t0 +. window_s)
+            ~p99_s:(w_p99_ms /. 1000.) ~availability
+        with
+        | Loop.Stay -> ()
+        | Loop.Cutover { next; _ } -> migrate next
+        | Loop.Rollback { prev; _ } -> migrate prev);
     rows :=
       {
         hour;
@@ -247,7 +339,7 @@ let run ?(params = default) ?monitor () =
         w_offered = fo.Simulator.offered;
         w_completed = fo.Simulator.run.Simulator.completed;
         w_shed = fo.Simulator.shed;
-        w_p99_ms = p99_ms_of fo.Simulator.responses;
+        w_p99_ms;
         migrating;
         w_faults = List.length faults;
       }
@@ -258,16 +350,23 @@ let run ?(params = default) ?monitor () =
     | Some h -> h
     | None -> Tel.Histogram.create ()
   in
+  let reallocations, rollbacks, drift_score =
+    match loop with
+    | Some l -> (Loop.reallocations l, Loop.rollbacks l, Loop.peak_score l)
+    | None -> (0, 0, 0.)
+  in
   let report =
     Tel.Slo_report.of_histogram ~duration_s:day_s ~offered:!offered
       ~completed:!completed ~shed:!shed ~failed:!failed ~wasted_work_s:!wasted
       ~retries:!retries ~hedges:!hedges ~bytes_moved_mb:!bytes_moved
       ~migrations:!migrations ~faults_injected:!faults_n
       ~trace_dropped:(Tel.Trace.dropped sink.Tel.Sink.trace)
+      ~reallocations ~rollbacks ~drift_score
       ~utilization:
         (List.init p.nodes_max (fun b -> (b, busy_acc.(b) /. day_s)))
       day_hist
   in
+  (match loop with Some l -> Loop.detach l | None -> ());
   let wall_s = Sys.time () -. t_begin in
   {
     params = p;
@@ -283,12 +382,13 @@ let run ?(params = default) ?monitor () =
 let to_json ?(monitor_violations = 0) r =
   Printf.sprintf
     "{\"name\":\"fig_day\",\"seed\":%d,\"scale\":%g,\"window_minutes\":%g,\
-     \"nodes_min\":%d,\"nodes_max\":%d,\"windows\":%d,\"events\":%d,\
-     \"wall_s\":%.3f,\"events_per_s\":%.0f,\
+     \"nodes_min\":%d,\"nodes_max\":%d,\"autotune\":%b,\"windows\":%d,\
+     \"events\":%d,\"wall_s\":%.3f,\"events_per_s\":%.0f,\
      \"trace_dropped\":%d,\"monitor_violations\":%d,\"slo\":%s}"
     r.params.seed r.params.scale r.params.window_minutes r.params.nodes_min
-    r.params.nodes_max (List.length r.windows) r.events r.wall_s
-    r.events_per_s r.report.Tel.Slo_report.trace_dropped monitor_violations
+    r.params.nodes_max r.params.autotune (List.length r.windows) r.events
+    r.wall_s r.events_per_s r.report.Tel.Slo_report.trace_dropped
+    monitor_violations
     (Tel.Slo_report.to_json r.report)
 
 let write_json ?monitor_violations ~path r =

@@ -37,6 +37,12 @@ type params = {
   mtbf : float;  (** chaos: mean seconds between faults per backend *)
   mttr : float;  (** chaos: mean fault duration, seconds *)
   trace_capacity : int;  (** telemetry trace ring size *)
+  autotune : bool;
+      (** run the {!Cdbs_control.Loop} self-healing control loop over the
+          day (configured as {!Fig_drift.control_default}): drift-triggered
+          guarded reallocations deploy as live migrations exactly like
+          resizes do, the canary blocks autoscaler resizes while it runs,
+          and each resize resets the loop's assumed mix *)
 }
 
 val default : params

@@ -10,6 +10,8 @@ type params = {
   correlated_mtbf : float option;
   partition_prob : float;
   zones : int;
+  shift_mtbf : float option;
+  shift_mixes : (string * float) list list;
 }
 
 let default =
@@ -23,6 +25,8 @@ let default =
     correlated_mtbf = None;
     partition_prob = 0.5;
     zones = 1;
+    shift_mtbf = None;
+    shift_mixes = [];
   }
 
 (* One fault incident of a backend's renewal process. *)
@@ -51,6 +55,11 @@ let generate ~rng ~num_backends p =
     invalid_arg "Chaos.generate: zones outside [1, num_backends]";
   (match p.correlated_mtbf with
   | Some m when m <= 0. -> invalid_arg "Chaos.generate: correlated_mtbf <= 0"
+  | _ -> ());
+  (match p.shift_mtbf with
+  | Some m when m <= 0. -> invalid_arg "Chaos.generate: shift_mtbf <= 0"
+  | Some _ when p.shift_mixes = [] ->
+      invalid_arg "Chaos.generate: shift_mtbf set but shift_mixes is empty"
   | _ -> ());
   let incidents = ref [] in
   for b = 0 to num_backends - 1 do
@@ -144,4 +153,25 @@ let generate ~rng ~num_backends p =
             ~duration:(c.c_stop -. c.c_start))
       correlated
   in
-  Fault.sort (events @ correlated_events)
+  (* The drift stream is split off last, so enabling it never perturbs the
+     crash/slowdown/correlated timelines: [shift_mtbf = None] (the
+     default) reproduces legacy schedules byte for byte.  A global renewal
+     process emits instantaneous [Workload_shift] events, each picking one
+     of the candidate mixes uniformly — drift and crashes land in the same
+     schedule, so chaos runs exercise both together. *)
+  let shift_events =
+    match p.shift_mtbf with
+    | None -> []
+    | Some mtbf_s ->
+        let mixes = Array.of_list p.shift_mixes in
+        let g = Rng.split rng in
+        let acc = ref [] in
+        let t = ref (Rng.exponential g mtbf_s) in
+        while !t < p.horizon do
+          let mix = mixes.(Rng.int g (Array.length mixes)) in
+          acc := Fault.workload_shift ~at:!t ~mix :: !acc;
+          t := !t +. Rng.exponential g mtbf_s
+        done;
+        List.rev !acc
+  in
+  Fault.sort (events @ correlated_events @ shift_events)

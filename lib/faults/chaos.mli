@@ -25,7 +25,14 @@
     correlated incidents bypass [max_concurrent_down] — probing beyond-k
     correlated loss is their purpose.  The correlated stream draws from its
     own split of the seed, so [correlated_mtbf = None] (the default)
-    reproduces legacy schedules byte for byte. *)
+    reproduces legacy schedules byte for byte.
+
+    {b Workload drift.}  When [shift_mtbf] is [Some m] a third renewal
+    process (split off after the correlated stream, so enabling it never
+    perturbs the other timelines) injects instantaneous
+    [Workload_shift] events, each picking one of [shift_mixes]
+    uniformly.  Drift is thereby scheduled like any other fault, so
+    chaos runs exercise workload shifts and crashes together. *)
 
 type params = {
   mtbf : float;  (** mean up-time between faults per backend, seconds *)
@@ -39,12 +46,18 @@ type params = {
   partition_prob : float;
       (** chance a correlated incident is a partition, not a zone outage *)
   zones : int;  (** fault domains, round-robin membership [b mod zones] *)
+  shift_mtbf : float option;
+      (** mean time between {!Fault.event.Workload_shift} events; [None]
+          disables the drift stream *)
+  shift_mixes : (string * float) list list;
+      (** candidate class mixes a shift picks from, uniformly; must be
+          non-empty when [shift_mtbf] is set *)
 }
 
 val default : params
 (** MTBF 120 s, MTTR 25 s, horizon 600 s, 25 % slowdowns at 3x, no
     concurrency cap, no correlated failures (1 zone, 50 % partitions when
-    enabled). *)
+    enabled), no workload-shift stream. *)
 
 val generate :
   rng:Cdbs_util.Rng.t -> num_backends:int -> params -> Fault.schedule

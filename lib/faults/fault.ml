@@ -4,6 +4,7 @@ type event =
   | Slowdown of { backend : int; factor : float; duration : float }
   | Partition of { backends : int list; duration : float }
   | ZoneOutage of { zone : int; duration : float }
+  | Workload_shift of { mix : (string * float) list }
 
 type timed = { at : float; event : event }
 type schedule = timed list
@@ -26,10 +27,25 @@ let zone_outage ~at ~zone ~duration =
   if duration <= 0. then invalid_arg "Fault.zone_outage: duration <= 0";
   { at; event = ZoneOutage { zone; duration } }
 
+let check_mix ~what mix =
+  if mix = [] then invalid_arg (what ^ ": empty mix");
+  List.iter
+    (fun (id, w) ->
+      if not (Float.is_finite w) || w < 0. then
+        invalid_arg
+          (Printf.sprintf "%s: weight of %S must be finite and >= 0" what id))
+    mix;
+  if List.fold_left (fun acc (_, w) -> acc +. w) 0. mix <= 0. then
+    invalid_arg (what ^ ": mix weights sum to zero")
+
+let workload_shift ~at ~mix =
+  check_mix ~what:"Fault.workload_shift" mix;
+  { at; event = Workload_shift { mix } }
+
 let backends = function
   | Crash b | Recover b | Slowdown { backend = b; _ } -> [ b ]
   | Partition { backends = bs; _ } -> bs
-  | ZoneOutage _ -> []
+  | ZoneOutage _ | Workload_shift _ -> []
 
 let sort schedule =
   List.stable_sort (fun a b -> Float.compare a.at b.at) schedule
@@ -159,7 +175,26 @@ let validate ?zone_of ~num_backends schedule =
                          zone)
                 | Some bs ->
                     let* () = cut "zone outage" at ~duration bs in
-                    go rest))
+                    go rest)
+          | Workload_shift { mix } ->
+              if mix = [] then
+                Error (Printf.sprintf "workload shift at %g: empty mix" at)
+              else if
+                List.exists
+                  (fun (_, w) -> (not (Float.is_finite w)) || w < 0.)
+                  mix
+              then
+                Error
+                  (Printf.sprintf
+                     "workload shift at %g: weights must be finite and >= 0"
+                     at)
+              else if
+                List.fold_left (fun acc (_, w) -> acc +. w) 0. mix <= 0.
+              then
+                Error
+                  (Printf.sprintf
+                     "workload shift at %g: mix weights sum to zero" at)
+              else go rest)
   in
   go (sort schedule)
 
@@ -175,6 +210,10 @@ let pp_event ppf = function
         duration
   | ZoneOutage { zone; duration } ->
       Fmt.pf ppf "zone outage z%d for %.1fs" zone duration
+  | Workload_shift { mix } ->
+      Fmt.pf ppf "workload shift {%a}"
+        Fmt.(list ~sep:(any ",") (pair ~sep:(any ":") string (fmt "%.2f")))
+        mix
 
 let pp_timed ppf { at; event } = Fmt.pf ppf "%8.2fs %a" at pp_event event
 

@@ -26,6 +26,14 @@
       mode a {!Cdbs_core.Topology}-aware allocation is built to survive.
       Requires a topology ([validate ~zone_of], and the simulator's
       [?topology]) to resolve the zone to its member backends.
+    - [Workload_shift]: from this instant the offered workload follows a
+      new class mix — drift treated as a fault class.  The simulator
+      replays a pre-generated request stream, so the engine only
+      announces the shift (a ["workload.shift"] trace event for monitors
+      and online estimators); the {e driver} that generates arrivals
+      window by window (the drift experiment, [cdbs_cli autotune])
+      interprets the new mix when it draws the following windows'
+      requests.  Targets no backend.
 
     Schedules are plain data so they can be generated ({!Chaos}), stored,
     printed and validated independently of the simulator executing them. *)
@@ -37,6 +45,8 @@ type event =
   | Partition of { backends : int list; duration : float }
       (** sorted, de-duplicated backend indices *)
   | ZoneOutage of { zone : int; duration : float }
+  | Workload_shift of { mix : (string * float) list }
+      (** the class mix in force from this instant on *)
 
 type timed = { at : float; event : event }
 
@@ -57,10 +67,15 @@ val partition : at:float -> backends:int list -> duration:float -> timed
 val zone_outage : at:float -> zone:int -> duration:float -> timed
 (** @raise Invalid_argument when [zone < 0] or [duration <= 0.]. *)
 
+val workload_shift : at:float -> mix:(string * float) list -> timed
+(** @raise Invalid_argument on an empty mix, a non-finite or negative
+    weight, or weights summing to zero. *)
+
 val backends : event -> int list
 (** The backends an event acts on directly.  [ZoneOutage] returns [[]]:
     its membership depends on the topology, which the event does not
-    carry (resolve via {!Cdbs_core.Topology.backends_in}). *)
+    carry (resolve via {!Cdbs_core.Topology.backends_in}).
+    [Workload_shift] targets no backend. *)
 
 val sort : schedule -> schedule
 (** Stable sort by timestamp ([Float.compare], not polymorphic compare). *)
@@ -83,7 +98,8 @@ val validate :
     previous one ends), no partitioning of an already-down backend, and
     no [ZoneOutage] without [?zone_of] (the zone-to-backend map, e.g.
     a copy of [Topology]'s assignment; zone outages cannot be resolved —
-    or simulated — without one). *)
+    or simulated — without one).  [Workload_shift] mixes must be
+    non-empty with finite, non-negative weights summing above zero. *)
 
 val pp_event : event Fmt.t
 val pp_timed : timed Fmt.t

@@ -17,6 +17,9 @@ type t = {
   migrations : int;
   faults_injected : int;
   trace_dropped : int;
+  reallocations : int;
+  rollbacks : int;
+  drift_score : float;
   utilization : (int * float) list;
 }
 
@@ -25,7 +28,8 @@ let availability_of ~offered ~completed =
 
 let of_histogram ~duration_s ~offered ~completed ~shed ~failed ~wasted_work_s
     ~retries ~hedges ~bytes_moved_mb ~migrations ~faults_injected
-    ?(trace_dropped = 0) ~utilization histo =
+    ?(trace_dropped = 0) ?(reallocations = 0) ?(rollbacks = 0)
+    ?(drift_score = 0.) ~utilization histo =
   {
     duration_s;
     offered;
@@ -46,6 +50,9 @@ let of_histogram ~duration_s ~offered ~completed ~shed ~failed ~wasted_work_s
     migrations;
     faults_injected;
     trace_dropped;
+    reallocations;
+    rollbacks;
+    drift_score;
     utilization = List.sort (fun (a, _) (b, _) -> Int.compare a b) utilization;
   }
 
@@ -66,6 +73,9 @@ let pp ppf r =
   Fmt.pf ppf "migrations        %10d  (%.1f MB moved)@\n" r.migrations
     r.bytes_moved_mb;
   Fmt.pf ppf "faults injected   %10d@\n" r.faults_injected;
+  Fmt.pf ppf "reallocations     %10d  (%d rolled back)@\n" r.reallocations
+    r.rollbacks;
+  Fmt.pf ppf "drift score       %10.3f@\n" r.drift_score;
   if r.trace_dropped > 0 then
     Fmt.pf ppf "trace dropped     %10d  (ring overflow)@\n" r.trace_dropped;
   Fmt.pf ppf "utilization       %s"
@@ -87,11 +97,13 @@ let to_json r =
      \"p99_ms\":%.3f,\"mean_ms\":%.3f,\"shed_rate\":%.6f,\
      \"wasted_work_s\":%.1f,\"retries\":%d,\"hedges\":%d,\
      \"bytes_moved_mb\":%.1f,\"migrations\":%d,\"faults_injected\":%d,\
-     \"trace_dropped\":%d,\"utilization\":{%s}}"
+     \"trace_dropped\":%d,\"reallocations\":%d,\"rollbacks\":%d,\
+     \"drift_score\":%.4f,\"utilization\":{%s}}"
     r.duration_s r.offered r.completed r.shed r.failed r.availability
     (1000. *. r.p50_s) (1000. *. r.p95_s) (1000. *. r.p99_s)
     (1000. *. r.mean_s) r.shed_rate r.wasted_work_s r.retries r.hedges
-    r.bytes_moved_mb r.migrations r.faults_injected r.trace_dropped util
+    r.bytes_moved_mb r.migrations r.faults_injected r.trace_dropped
+    r.reallocations r.rollbacks r.drift_score util
 
 type gate = {
   min_availability : float option;

@@ -28,6 +28,14 @@ type t = {
   trace_dropped : int;
       (** trace-ring events evicted by overflow during the run — nonzero
           means the retained trace is a suffix, not the whole story *)
+  reallocations : int;
+      (** drift-triggered live reallocations the control loop executed *)
+  rollbacks : int;
+      (** reallocations undone by the canary guardrail (a subset of
+          [reallocations]) *)
+  drift_score : float;
+      (** peak divergence between assumed and measured class mix observed
+          over the run (0 when no estimator was attached) *)
   utilization : (int * float) list;
       (** per-backend busy fraction, sorted by backend id *)
 }
@@ -48,12 +56,17 @@ val of_histogram :
   migrations:int ->
   faults_injected:int ->
   ?trace_dropped:int ->
+  ?reallocations:int ->
+  ?rollbacks:int ->
+  ?drift_score:float ->
   utilization:(int * float) list ->
   Histogram.t ->
   t
 (** Build a report, deriving availability, shed rate and the latency
     fields (p50/p95/p99/mean) from the histogram.  [trace_dropped]
-    (default 0) surfaces {!Trace.dropped} of the run's sink. *)
+    (default 0) surfaces {!Trace.dropped} of the run's sink;
+    [reallocations]/[rollbacks]/[drift_score] (defaults 0/0/0.) surface
+    the control loop's activity when one drove the run. *)
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable rendering. *)

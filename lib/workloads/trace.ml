@@ -108,22 +108,44 @@ let update_defs =
      "UPDATE users SET u_last_login = '2009-10-20' WHERE u_id = 1");
   ]
 
-let specs_at ~hour =
-  let mix = class_mix ~hour in
-  let read_share = 0.95 in
+let read_share = 0.95
+
+let normalize_mix mix =
+  let total =
+    List.fold_left
+      (fun acc (id, _) ->
+        acc +. max 0. (Option.value ~default:0. (List.assoc_opt id mix)))
+      0.
+      (List.map (fun (id, _, _, _) -> (id, ())) class_defs)
+  in
+  let total = if total > 0. then total else 1. in
+  fun id -> max 0. (Option.value ~default:0. (List.assoc_opt id mix)) /. total
+
+let specs_of_mix ~mix =
+  let share = normalize_mix mix in
   List.map
     (fun (id, footprint, mb, _) ->
-      let share = Option.value ~default:0. (List.assoc_opt id mix) in
-      Spec.read id footprint ~weight:(read_share *. share) ~request_mb:mb)
+      Spec.read id footprint ~weight:(read_share *. share id) ~request_mb:mb)
     class_defs
   @ List.map
       (fun (id, footprint, w, mb, _) ->
         Spec.update id footprint ~weight:w ~request_mb:mb)
       update_defs
 
-let workload_at ~hour =
+let specs_at ~hour = specs_of_mix ~mix:(class_mix ~hour)
+
+let mix_of ~mix =
+  let share = normalize_mix mix in
+  List.map (fun (id, _, _, _) -> (id, read_share *. share id)) class_defs
+  @ List.map (fun (id, _, w, _, _) -> (id, w)) update_defs
+
+let mix_at ~hour = mix_of ~mix:(class_mix ~hour)
+
+let workload_of_mix ~mix =
   Spec.to_workload ~schema ~rows:row_counts ~granularity:`Table
-    (specs_at ~hour)
+    (specs_of_mix ~mix)
+
+let workload_at ~hour = workload_of_mix ~mix:(class_mix ~hour)
 
 let requests_for_day ~rng ~scale ~step_minutes =
   let out = ref [] in

@@ -24,6 +24,26 @@ val class_mix : hour:float -> (string * float) list
 val specs_at : hour:float -> Spec.class_spec list
 (** The class specifications weighted by the hour's mix. *)
 
+val specs_of_mix : mix:(string * float) list -> Spec.class_spec list
+(** The class specifications for an {e arbitrary} read mix over A–E
+    (weights normalized over the listed read classes; unknown ids are
+    ignored, missing ids get weight 0); the update classes keep their
+    fixed weights.  [specs_at ~hour] is [specs_of_mix] applied to
+    {!class_mix}. *)
+
+val mix_at : hour:float -> (string * float) list
+(** The per-window class mix the generator actually uses, as workload
+    weights: every class (reads {e and} updates) with its normalized
+    share of the total cost, summing to 1.  This is exactly the weight
+    vector behind {!specs_at}/{!workload_at}, exposed so tests (and the
+    drift detector) can assert the shift a generated window carries
+    instead of re-deriving it. *)
+
+val mix_of : mix:(string * float) list -> (string * float) list
+(** [mix_at] for an arbitrary read mix: the full normalized weight
+    vector (reads scaled into the read share, fixed update weights) that
+    {!specs_of_mix} encodes. *)
+
 val requests_for_day :
   rng:Cdbs_util.Rng.t ->
   scale:float ->
@@ -41,3 +61,7 @@ val journal_for_day :
 
 val workload_at : hour:float -> Cdbs_core.Workload.t
 (** Classified workload for a single hour's mix, table granularity. *)
+
+val workload_of_mix : mix:(string * float) list -> Cdbs_core.Workload.t
+(** Classified workload for an arbitrary read mix (see {!specs_of_mix}),
+    table granularity. *)

@@ -33,7 +33,8 @@ dune exec bin/cdbs_cli.exe -- check -w zones --strict
 # corrupted event stream must be rejected for every injection kind.
 dune exec bin/cdbs_cli.exe -- verify-trace --seed 7 -n 4 -k 1 \
   --duration 300 --rate 10 --json --strict
-for inj in breaker-hop rejoin deadline down-serve split-brain; do
+for inj in breaker-hop rejoin deadline down-serve split-brain \
+  overlap-realloc cooldown-trigger rogue-rollback; do
   if dune exec bin/cdbs_cli.exe -- verify-trace --inject "$inj" >/dev/null 2>&1; then
     echo "error: monitor accepted a corrupted trace ($inj)" >&2
     exit 1
@@ -68,6 +69,14 @@ dune exec bin/cdbs_cli.exe -- overload --seed 11 -n 4 --rate 240 \
 dune exec bin/cdbs_cli.exe -- day --smoke --monitor --json --out BENCH_day.json \
   --min-availability 0.99 --max-p99-ms 50 --max-shed-rate 0.01
 test -s BENCH_day.json
+
+# Drift smoke: the self-tuning control loop against an adversarial
+# workload step-change must beat the static allocation on p99
+# (--require-win), stay monitor-clean (unpaired rollbacks are TRC018
+# violations) and persist its BENCH_drift.json report.
+dune exec bin/cdbs_cli.exe -- autotune --smoke --monitor --require-win \
+  --json --out BENCH_drift.json
+test -s BENCH_drift.json
 
 # Allocator scale smoke: 100k fragments x 50 backends through the dense
 # greedy under a wall-clock gate, diagnostic-clean, with the O(delta)

@@ -332,6 +332,95 @@ let test_pool_propagates_exceptions () =
   | _ -> Alcotest.fail "expected exception"
   | exception Failure m -> Alcotest.(check string) "message" "boom" m
 
+(* The opt-in balance pass: a Reweight alone rescales in place and moves
+   nothing; with ~balance:true the same delta installs extra replicas of
+   the now-hot classes on underloaded backends, within budget, and the
+   modeled cost can only improve. *)
+let test_repair_balance_pass () =
+  (* The control loop's scenario: a day-mix k-safe allocation hit by a
+     night-heavy reweight of the quiz class.  The bare Reweight rescales
+     in place and leaves the quiz holders overloaded; ~balance:true must
+     install the hot class's fragments on more backends (within budget),
+     equalize relative loads, and improve the model. *)
+  let module Wtrace = Cdbs_workloads.Trace in
+  let w = Wtrace.workload_of_mix ~mix:(Wtrace.class_mix ~hour:12.) in
+  let alloc =
+    Ksafety.allocate ~k:1 w (Backend.homogeneous 4)
+  in
+  let base = Dense.of_allocation alloc in
+  let b_idx =
+    match
+      List.mapi (fun i c -> (i, c.Query_class.id)) w.Workload.reads
+      |> List.find_opt (fun (_, id) -> String.equal id "B")
+    with
+    | Some (i, _) -> i
+    | None -> Alcotest.fail "class B missing"
+  in
+  let deltas = [ Incremental.Reweight { cls = b_idx; weight = 0.6 } ] in
+  let plain, plain_stats = Incremental.repair ~k:1 (Dense.copy base) deltas in
+  Alcotest.(check int) "bare reweight moves no data" 0
+    plain_stats.Incremental.moved_fragments;
+  let budget = 64 in
+  let balanced, stats =
+    Incremental.repair ~k:1 ~budget ~balance:true (Dense.copy base) deltas
+  in
+  if stats.Incremental.rebalance_fragments > budget then
+    Alcotest.failf "balance overspent: %d > %d"
+      stats.Incremental.rebalance_fragments budget;
+  if stats.Incremental.moved_fragments = 0 then
+    Alcotest.fail "balance pass installed nothing under heavy skew";
+  let spread st =
+    let rel =
+      Array.mapi (fun b l -> l /. st.Dense.inst.Dense.loads.(b)) st.Dense.load
+    in
+    Array.fold_left max neg_infinity rel /. Array.fold_left min infinity rel
+  in
+  if spread plain < 1.5 then
+    Alcotest.failf "reweight alone should skew the loads: spread %.3f"
+      (spread plain);
+  if spread balanced > 1.1 then
+    Alcotest.failf "balance left loads skewed: spread %.3f" (spread balanced);
+  if Dense.scale balanced >= Dense.scale plain then
+    Alcotest.failf "balance did not improve the model: %.4f >= %.4f"
+      (Dense.scale balanced) (Dense.scale plain);
+  match
+    Cdbs_analysis.Check_allocation.check_dense ~k:1 balanced
+    |> Cdbs_analysis.Diagnostic.errors
+  with
+  | [] -> ()
+  | d :: _ ->
+      Alcotest.failf "balanced repair not clean: %a"
+        Cdbs_analysis.Diagnostic.pp d
+
+let test_repair_copy_isolation () =
+  (* Regression: repair CONSUMES its input, and Dense.copy is the
+     documented escape hatch — but copies share the immutable instance,
+     and the in-place instance extension used to write reweighted
+     class weights into that shared array.  A repair on one copy then
+     corrupted the pre-delta allocation and every sibling copy: a second
+     identical repair saw w0 = w1 and silently skipped the rescale. *)
+  let module Wtrace = Cdbs_workloads.Trace in
+  let w = Wtrace.workload_of_mix ~mix:(Wtrace.class_mix ~hour:12.) in
+  let base = Dense.of_allocation (Ksafety.allocate ~k:1 w (Backend.homogeneous 4)) in
+  let w0 = base.Dense.inst.Dense.class_weight.(0) in
+  let deltas = [ Incremental.Reweight { cls = 0; weight = w0 *. 4. } ] in
+  let total st c =
+    let s = ref 0. in
+    Array.iter (fun row -> s := !s +. row.(c)) st.Dense.assign;
+    !s
+  in
+  let first, _ = Incremental.repair ~k:1 (Dense.copy base) deltas in
+  Alcotest.(check (float 1e-9))
+    "base keeps its pre-delta weight" w0
+    base.Dense.inst.Dense.class_weight.(0);
+  Alcotest.(check (float 1e-9)) "base assignments untouched" w0 (total base 0);
+  let second, _ = Incremental.repair ~k:1 (Dense.copy base) deltas in
+  Alcotest.(check (float 1e-9))
+    "first repair scaled the class" (w0 *. 4.) (total first 0);
+  Alcotest.(check (float 1e-9))
+    "second identical repair scales too, not a no-op" (w0 *. 4.)
+    (total second 0)
+
 let test_synthetic_greedy_clean () =
   let rng = Rng.create 42 in
   let inst =
@@ -363,6 +452,10 @@ let suite =
     Alcotest.test_case "sibling extensions of one base stay isolated" `Quick
       test_repair_sibling_extensions;
     Alcotest.test_case "chained repairs stay clean" `Quick test_repair_chained;
+    Alcotest.test_case "balance pass installs replicas within budget" `Quick
+      test_repair_balance_pass;
+    Alcotest.test_case "repair on a copy leaves the original intact" `Quick
+      test_repair_copy_isolation;
     Alcotest.test_case "pool map = sequential map" `Quick
       test_pool_map_matches_sequential;
     Alcotest.test_case "pool propagates exceptions" `Quick

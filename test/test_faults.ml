@@ -76,7 +76,8 @@ let test_chaos_deterministic () =
       (match t.Fault.event with
       | Fault.Crash b -> Hashtbl.replace down b ()
       | Fault.Recover b -> Hashtbl.remove down b
-      | Fault.Slowdown _ | Fault.Partition _ | Fault.ZoneOutage _ -> ());
+      | Fault.Slowdown _ | Fault.Partition _ | Fault.ZoneOutage _
+      | Fault.Workload_shift _ -> ());
       if Hashtbl.length down > !max_down then
         max_down := Hashtbl.length down)
     sched;

@@ -26,4 +26,5 @@ let () =
       ("resilience", Test_resilience.suite);
       ("telemetry", Test_telemetry.suite);
       ("partition", Test_partition.suite);
+      ("control", Test_control.suite);
     ]
